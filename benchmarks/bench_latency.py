@@ -1,0 +1,71 @@
+"""Packet latency vs injection rate (cf. the latency line of work [10]).
+
+Not a paper table — a companion measurement the paper's related work
+motivates: how the two ARRoW protocols trade latency, at identical
+workloads, as the rate climbs toward 1.  Expected shape: CA-ARRoW's
+round-robin keeps p50/p90 latency low and flat until high load;
+AO-ARRoW pays its election and withholding overheads, with a visibly
+heavier tail, and both curves blow up as rho -> 1 (Theorem 5's shadow).
+"""
+
+from repro.algorithms import AOArrow, CAArrow
+from repro.analysis import summarize_latencies
+from repro.arrivals import UniformRate
+from repro.core import Simulator
+from repro.timing import worst_case_for
+
+from .reporting import emit, table
+
+N, R = 3, 2
+HORIZON = 15_000
+RATES = ["1/4", "1/2", "3/4", "9/10"]
+
+
+def _run(make_algos, rho):
+    source = UniformRate(rho=rho, targets=list(range(1, N + 1)), assumed_cost=R)
+    sim = Simulator(
+        make_algos(), worst_case_for(R), R, arrival_source=source
+    )
+    sim.run(until_time=HORIZON)
+    return summarize_latencies(sim.delivered_packets)
+
+
+def test_latency_vs_rate(benchmark):
+    def run():
+        out = {}
+        for rho in RATES:
+            ca = _run(lambda: {i: CAArrow(i, N, R) for i in range(1, N + 1)}, rho)
+            ao = _run(lambda: {i: AOArrow(i, N, R) for i in range(1, N + 1)}, rho)
+            out[rho] = (ca, ao)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for rho, (ca, ao) in results.items():
+        rows.append(
+            (
+                rho,
+                f"{float(ca.median):.1f}",
+                f"{float(ca.p90):.1f}",
+                f"{float(ca.maximum):.1f}",
+                f"{float(ao.median):.1f}",
+                f"{float(ao.p90):.1f}",
+                f"{float(ao.maximum):.1f}",
+            )
+        )
+    emit(
+        "latency_vs_rate",
+        [f"Delivered-packet latency vs rho (n={N}, R={R}, horizon={HORIZON})",
+         "columns: CA-ARRoW p50/p90/max vs AO-ARRoW p50/p90/max"]
+        + table(
+            ["rho", "CA p50", "CA p90", "CA max", "AO p50", "AO p90", "AO max"],
+            rows,
+        ),
+    )
+    for rho, (ca, ao) in results.items():
+        assert ca.count > 0 and ao.count > 0
+        # CA's control-message ring beats AO's elections on median latency.
+        assert ca.median <= ao.median
+    # Latency grows with the rate for both protocols.
+    assert results["9/10"][0].p90 >= results["1/4"][0].p90
+    assert results["9/10"][1].p90 >= results["1/4"][1].p90

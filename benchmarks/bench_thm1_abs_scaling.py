@@ -1,0 +1,100 @@
+"""Theorem 1: ABS solves SST in O(R^2 log n) slots.
+
+Reproduced shape: at fixed R, measured slots grow ~ log n; at fixed n,
+they grow ~ R^2; and every measured run sits below the explicit
+constant-carrying bound of :func:`repro.analysis.abs_slot_upper_bound`.
+The companion gap check (E13) relates measurement to the Theorem 2
+formula lower bound.
+"""
+
+import math
+from fractions import Fraction
+
+from repro.algorithms import ABSLeaderElection
+from repro.analysis import abs_slot_upper_bound, sst_lower_bound_slots
+from repro.core import Simulator
+from repro.timing import RandomUniform, Synchronous, worst_case_for
+
+from .reporting import emit, table
+
+NS = [2, 4, 8, 16, 32, 64, 128]
+RS = [1, 2, 3, 4]
+
+
+def _election_slots(n, R, adversary):
+    algos = {i: ABSLeaderElection(i, R) for i in range(1, n + 1)}
+    sim = Simulator(algos, adversary, max_slot_length=R)
+    end = sim.run_until_success(max_events=5_000_000)
+    assert end is not None, f"ABS failed at n={n}, R={R}"
+    return sim.max_slots_elapsed()
+
+
+def test_scaling_in_n_and_r(benchmark):
+    def run():
+        measured = {}
+        for R in RS:
+            for n in NS:
+                adversary = Synchronous() if R == 1 else worst_case_for(R)
+                measured[(n, R)] = _election_slots(n, R, adversary)
+        return measured
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for n in NS:
+        row = [n]
+        for R in RS:
+            slots = measured[(n, R)]
+            bound = abs_slot_upper_bound(n, R)
+            row.append(f"{slots} (<= {bound})")
+        rows.append(row)
+    emit(
+        "thm1_abs_scaling",
+        ["Theorem 1: ABS slots to SST, measured (<= explicit bound)",
+         "paper shape: ~ log n at fixed R, ~ R^2 at fixed n"]
+        + table(["n \\ R"] + [f"R={R}" for R in RS], rows),
+    )
+
+    # Shape assertions.
+    for n in NS:
+        for R in RS:
+            assert measured[(n, R)] <= abs_slot_upper_bound(n, R)
+    # log n growth: n 128 vs 8 (16x) costs < 4x slots at any fixed R.
+    for R in RS:
+        assert measured[(128, R)] <= 4 * measured[(8, R)]
+    # R^2 growth: R 4 vs 2 costs between 2x and 8x at fixed n.
+    for n in (16, 64):
+        ratio = measured[(n, 4)] / measured[(n, 2)]
+        assert 1.5 < ratio < 8
+
+
+def test_gap_to_lower_bound(benchmark):
+    """E13: measured ABS cost vs the Theorem 2 formula lower bound.
+
+    The paper proves the gap is at most O(R log R); we report the
+    measured ratio and assert it stays within the R log R envelope
+    times the (explicit) constants.
+    """
+
+    def run():
+        out = []
+        for n, r in [(16, 2), (64, 2), (64, 4), (128, 4)]:
+            slots = _election_slots(n, r, worst_case_for(r))
+            lb = sst_lower_bound_slots(n, r)
+            out.append((n, r, slots, lb))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for n, r, slots, lb in results:
+        ratio = float(slots) / float(lb)
+        envelope = 60 * r * max(math.log2(r), 1)  # O(R log R) with slack
+        rows.append((n, r, slots, f"{float(lb):.1f}", f"{ratio:.1f}",
+                     f"{envelope:.0f}"))
+    emit(
+        "thm1_vs_thm2_gap",
+        ["Upper vs lower bound gap (paper: O(R log R) factor)"]
+        + table(["n", "r", "measured_slots", "lower_bound", "ratio",
+                 "envelope"], rows),
+    )
+    for n, r, slots, lb in results:
+        assert float(slots) / float(lb) <= 60 * r * max(math.log2(r), 1)

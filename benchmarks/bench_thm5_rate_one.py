@@ -1,0 +1,86 @@
+"""Theorem 5: no algorithm is stable at injection rate exactly 1.
+
+The starving adversary (never feed the current transmitter, rate
+pinned to exactly 1 by unit transmit slots) is run against AO-ARRoW,
+CA-ARRoW and the synchronous token ring, next to control runs at
+rho = 3/4 on the *same* harness.  Reproduced shape: positive backlog
+slope at rho = 1 for every algorithm, flat slope at rho < 1 — the
+instability is the rate's fault, not the harness's.
+"""
+
+from repro.algorithms import AOArrow, CAArrow, MBTFLike
+from repro.lowerbounds import measure_rate_one_instability
+
+from .reporting import emit, table
+
+HORIZON = 8000
+
+
+def _families():
+    return {
+        "AO-ARRoW (R=2)": (lambda: {i: AOArrow(i, 3, 2) for i in range(1, 4)}, 2),
+        "CA-ARRoW (R=2)": (lambda: {i: CAArrow(i, 3, 2) for i in range(1, 4)}, 2),
+        "TokenRing (R=1)": (lambda: {i: MBTFLike(i, 3) for i in range(1, 4)}, 1),
+    }
+
+
+def test_rate_one_vs_control(benchmark):
+    def run():
+        out = {}
+        for name, (make, R) in _families().items():
+            at_one = measure_rate_one_instability(
+                make(), max_slot_length=R, horizon=HORIZON, rho=1
+            )
+            control = measure_rate_one_instability(
+                make(), max_slot_length=R, horizon=HORIZON, rho="3/4"
+            )
+            out[name] = (at_one, control)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for name, (at_one, control) in results.items():
+        rows.append(
+            (
+                name,
+                f"{at_one.slope:.4f}",
+                at_one.final_backlog,
+                f"{control.slope:.4f}",
+                control.final_backlog,
+            )
+        )
+    emit(
+        "thm5_rate_one",
+        ["Theorem 5: backlog growth at rho = 1 vs control at rho = 3/4",
+         f"starving adversary, horizon {HORIZON}; slope in packets/time"]
+        + table(
+            ["algorithm", "slope@1", "final@1", "slope@3/4", "final@3/4"],
+            rows,
+        ),
+    )
+    for name, (at_one, control) in results.items():
+        assert at_one.grew_unboundedly, f"{name} did not destabilize at rho=1"
+        assert at_one.slope > 5 * max(control.slope, 1e-4)
+        assert control.final_backlog < at_one.final_backlog / 2
+
+
+def test_growth_is_linear_in_horizon(benchmark):
+    def run():
+        make = _families()["CA-ARRoW (R=2)"][0]
+        return {
+            horizon: measure_rate_one_instability(
+                make(), max_slot_length=2, horizon=horizon
+            ).final_backlog
+            for horizon in (2000, 4000, 8000)
+        }
+
+    growth = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "thm5_linear_growth",
+        ["CA-ARRoW backlog at rho = 1 vs horizon (expected ~linear)"]
+        + table(["horizon", "final_backlog"], sorted(growth.items())),
+    )
+    # Growth keeps accruing past any startup transient: each horizon
+    # doubling adds a substantial further backlog increment.
+    assert growth[4000] >= growth[2000] + 50
+    assert growth[8000] >= growth[4000] + 100

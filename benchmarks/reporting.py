@@ -1,0 +1,39 @@
+"""Shared table emission for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures (see the
+experiment index in DESIGN.md).  Tables are printed to stdout (the
+``-s`` pytest default makes them land in ``bench_output.txt``) and
+mirrored into ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can
+reference stable artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def emit(name: str, lines: Iterable[str]) -> str:
+    """Print a named report block and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    body = "\n".join(lines)
+    block = f"\n===== {name} =====\n{body}\n"
+    print(block)
+    (RESULTS_DIR / f"{name}.txt").write_text(body + "\n")
+    return block
+
+
+def table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> List[str]:
+    """Fixed-width text table: headers + one line per row."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+    lines = [fmt(list(headers)), fmt(["-" * width for width in widths])]
+    lines.extend(fmt(row) for row in materialized)
+    return lines

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Run the paper's three impossibility constructions for real.
+
+Lower bounds are usually read, not executed.  Here all three of the
+paper's adversarial constructions actually run against concrete
+algorithms:
+
+* Theorem 2 — the *mirror execution* adversary delays ABS leader
+  election for provably many slots, then the realized slot schedule is
+  replayed on the real channel to confirm no transmission succeeded;
+* Theorem 4 — the *collision forcer* probes a collision-avoiding,
+  control-free protocol (static TDMA), solves the slot-length equation
+  ``(S+alpha)X = (S+beta)Y`` and replays it into a real collision;
+* Theorem 5 — the *starving injector* saturates AO-ARRoW at rate
+  exactly 1 while never feeding the current transmitter; backlog grows
+  linearly.
+
+Run:  python examples/adversary_showcase.py
+"""
+
+from repro.algorithms import ABSLeaderElection, AOArrow, NaiveTDMA
+from repro.analysis import sst_lower_bound_slots
+from repro.lowerbounds import (
+    force_collision_or_overflow,
+    measure_rate_one_instability,
+    run_mirror_adversary,
+    verify_mirror_execution,
+)
+
+N, R = 64, 4
+
+
+def theorem2() -> None:
+    print("=== Theorem 2: mirror-execution lower bound ===")
+    factory = lambda sid: ABSLeaderElection(sid, R)  # noqa: E731
+    result = run_mirror_adversary(factory, n=N, r=R)
+    formula = sst_lower_bound_slots(N, R)
+    print(
+        f"n={N}, r={R}: adversary sustained {len(result.phases)} phases "
+        f"= {result.slots_forced} slots with no successful transmission"
+    )
+    print(f"paper's formula lower bound: {float(formula):.1f} slots")
+    print(f"final mirrored set: stations {result.survivors}")
+    sim = verify_mirror_execution(factory, result)
+    print(
+        f"replayed on the real channel to t={result.time_forced}: "
+        f"{sim.channel.count_successes_up_to(sim.now)} successes, "
+        f"{sim.channel.stats.collisions} collided transmissions\n"
+    )
+
+
+def theorem4() -> None:
+    print("=== Theorem 4: forcing a collision on a 'collision-free' protocol ===")
+    result = force_collision_or_overflow(
+        lambda sid: NaiveTDMA(sid, 2), queue_limit=16, rho="1/2",
+        max_slot_length=2,
+    )
+    a = result.probe_s1.first_attempt_offset
+    b = result.probe_s2.first_attempt_offset
+    print(f"probe: first transmit attempts at offsets alpha={a}, beta={b} "
+          f"after start slot S={result.start_slot}")
+    print(f"solved listening slot lengths: X={result.slot_length_s1}, "
+          f"Y={result.slot_length_s2}")
+    print(f"outcome: {result.outcome} at t={result.collision_time} "
+          "(verified by replay on the real channel)\n")
+
+
+def theorem5() -> None:
+    print("=== Theorem 5: rate-1 injection defeats every algorithm ===")
+    report = measure_rate_one_instability(
+        {i: AOArrow(i, 3, 2) for i in range(1, 4)},
+        max_slot_length=2,
+        horizon=5000,
+    )
+    print(f"AO-ARRoW, 3 stations, R=2, horizon 5000 at rho = 1:")
+    print(f"  backlog slope: {report.slope:.4f} packets/time (positive!)")
+    print(f"  final backlog: {report.final_backlog} "
+          f"(peak {report.max_backlog}), delivered {report.delivered}")
+    print("  the adversary starves whichever station transmits, forcing "
+          "handovers whose wasted time accumulates forever")
+
+
+def main() -> None:
+    theorem2()
+    theorem4()
+    theorem5()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Failures on a bounded-asynchrony channel (§VII open problem).
+
+A four-station CA-ARRoW ring where station 2's radio dies mid-run.
+On a content-opaque channel a dead station is pure silence — plain
+CA-ARRoW's successor waits for it forever, and the ring halts.  The
+fault-tolerant variant climbs its skip ladder (each consecutive skip
+costs an extra R factor of waiting — the price of certainty about
+silence under asynchrony) and keeps delivering, still collision-free.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro.algorithms import CAArrow, FaultTolerantCAArrow
+from repro.arrivals import UniformRate
+from repro.core import Simulator
+from repro.faults import crash_fleet
+from repro.timing import worst_case_for
+
+N, R = 4, 2
+CRASH = {2: 40}          # station 2 dies at its 40th slot
+HORIZON = 8_000
+LIVE = [1, 3, 4]
+
+
+def deploy(name, make_station):
+    fleet = crash_fleet(
+        {i: make_station(i) for i in range(1, N + 1)}, CRASH
+    )
+    source = UniformRate(rho="2/5", targets=LIVE, assumed_cost=R)
+    sim = Simulator(fleet, worst_case_for(R), R, arrival_source=source)
+    sim.run(until_time=HORIZON)
+    inner = {i: fleet[i].inner for i in fleet}
+    skips = sum(getattr(a.stats, "skips", 0) for a in inner.values())
+    claims = sum(
+        getattr(a.stats, "recoveries_claimed", 0) for a in inner.values()
+    )
+    print(
+        f"{name:<22} delivered={len(sim.delivered_packets):5d}  "
+        f"backlog={sim.total_backlog:5d}  collisions={sim.channel.stats.collisions}  "
+        f"skips={skips:4d}  claims={claims}"
+    )
+    return sim
+
+
+def main() -> None:
+    print(
+        f"{N} stations, R={R}, station 2 crashes at its slot 40, "
+        f"load 40% onto the survivors, horizon {HORIZON}\n"
+    )
+    plain = deploy("CA-ARRoW (plain)", lambda i: CAArrow(i, N, R))
+    ft = deploy(
+        "CA-ARRoW (fault-tol.)", lambda i: FaultTolerantCAArrow(i, N, R)
+    )
+
+    print()
+    print(
+        f"plain ring froze after the crash "
+        f"({len(plain.delivered_packets)} deliveries, then silence);"
+    )
+    print(
+        f"the fault-tolerant ring skipped the dead holder every cycle and "
+        f"delivered {len(ft.delivered_packets)} packets, collision-free."
+    )
+    assert ft.channel.stats.collisions == 0
+    assert len(ft.delivered_packets) > 20 * len(plain.delivered_packets)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""The paper's §VII open problems, answered by experiment.
+
+Two quick measurements on the same worst-case schedule:
+
+1. **Unknown R** — how much does SST cost when only the *existence* of
+   the bound is known?  (`DoublingABS` vs plain ABS.)
+2. **Randomization** — does a coin beat the deterministic lower bound?
+   (`RandomizedSST` medians vs the Theorem 2 formula.)
+
+Run:  python examples/open_problems.py
+"""
+
+import statistics
+
+from repro.algorithms import ABSLeaderElection, DoublingABS, RandomizedSST
+from repro.analysis import abs_slot_upper_bound, sst_lower_bound_slots
+from repro.core import Simulator
+from repro.timing import worst_case_for
+
+
+def slots_to_sst(fleet, R):
+    sim = Simulator(fleet, worst_case_for(R), max_slot_length=R)
+    solved = sim.run_until_success(max_events=2_000_000)
+    assert solved is not None
+    return sim.max_slots_elapsed()
+
+
+def main() -> None:
+    print("== Open problem 1: SST with unknown R ==")
+    for n, R in [(8, 2), (16, 4)]:
+        known = slots_to_sst(
+            {i: ABSLeaderElection(i, R) for i in range(1, n + 1)}, R
+        )
+        unknown = slots_to_sst(
+            {i: DoublingABS(i, n) for i in range(1, n + 1)}, R
+        )
+        print(
+            f"  n={n:3d} R={R}: ABS(R known) {known:4d} slots | "
+            f"DoublingABS(R unknown) {unknown:4d} slots | "
+            f"Thm 1 budget {abs_slot_upper_bound(n, R)}"
+        )
+    print(
+        "  (safety is free — the first successful transmission is heard\n"
+        "   by everyone whatever the slot lengths; doubling only buys liveness)"
+    )
+
+    print("\n== Open problem 2: randomized SST vs the deterministic bound ==")
+    for n, R in [(16, 2), (32, 4)]:
+        samples = []
+        for seed in range(9):
+            fleet = {
+                i: RandomizedSST(i, transmit_probability=1 / n, seed=seed)
+                for i in range(1, n + 1)
+            }
+            samples.append(slots_to_sst(fleet, R))
+        det_bound = sst_lower_bound_slots(n, R)
+        abs_cost = slots_to_sst(
+            {i: ABSLeaderElection(i, R) for i in range(1, n + 1)}, R
+        )
+        print(
+            f"  n={n:3d} R={R}: randomized median {statistics.median(samples):4.0f} "
+            f"(max {max(samples)}) | deterministic formula bound "
+            f"{float(det_bound):5.1f} | ABS {abs_cost}"
+        )
+    print(
+        "  (the Theorem 2 bound binds deterministic algorithms only —\n"
+        "   coin flips sidestep the mirror adversary entirely)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: a partially asynchronous MAC in ~30 lines.
+
+Four stations with drifting clocks (slot lengths adversarially chosen
+in [1, 2]) run CA-ARRoW — the paper's collision-free protocol — under a
+steady packet load at 60% of channel capacity.  We verify the two
+headline properties of Theorem 6 on the run: zero collisions, bounded
+queues.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.algorithms import CAArrow
+from repro.analysis import collect_metrics
+from repro.arrivals import UniformRate
+from repro.core import Simulator
+from repro.timing import CyclicPattern
+
+N_STATIONS = 4
+R = 2  # the known upper bound on any slot's length
+
+
+def main() -> None:
+    # One CA-ARRoW automaton per station; stations know only n and R.
+    stations = {i: CAArrow(i, N_STATIONS, R) for i in range(1, N_STATIONS + 1)}
+
+    # The adversary controls every slot's length within [1, R].  Here:
+    # fixed per-station cyclic drift patterns (station clocks disagree
+    # forever, but boundedly).
+    slot_adversary = CyclicPattern(
+        {1: [1, 2], 2: [2, 1, "3/2"], 3: ["3/2"], 4: [2, "5/4"]}
+    )
+
+    # Packets arrive at rate 0.6 in cost units (cost of a packet = the
+    # length of the slot that transmits it, at most R), round-robin
+    # across stations.
+    arrivals = UniformRate(
+        rho="3/5", targets=list(stations), assumed_cost=R
+    )
+
+    sim = Simulator(
+        stations,
+        slot_adversary,
+        max_slot_length=R,
+        arrival_source=arrivals,
+    )
+    sim.run(until_time=5_000)
+
+    metrics = collect_metrics(sim)
+    print("CA-ARRoW on a bounded-asynchrony channel")
+    print(f"  horizon:            t = {sim.now}")
+    print(f"  packets delivered:  {metrics.delivered}")
+    print(f"  backlog at end:     {metrics.backlog} (peak {metrics.max_backlog})")
+    print(f"  throughput (cost):  {float(metrics.throughput_cost):.3f} per time unit")
+    print(f"  mean latency:       {float(metrics.mean_latency):.1f}")
+    print(f"  collisions:         {metrics.collisions}")
+
+    assert metrics.collisions == 0, "Theorem 6: CA-ARRoW never collides"
+    assert metrics.max_backlog < 100, "Theorem 6: queues stay bounded"
+    print("\nTheorem 6 invariants hold on this execution.")
+
+
+if __name__ == "__main__":
+    main()

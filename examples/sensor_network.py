@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Domain scenario: a sensor network that cannot afford tight clocks.
+
+The paper's introduction motivates bounded asynchrony with weak devices
+(sensor networks) where tight slot synchronization is too costly.  This
+example models such a deployment:
+
+* eight battery-powered sensors share one uplink channel;
+* each sensor's local timer drifts — its slot lengths wander inside
+  ``[1, R]`` with per-device patterns (cheap oscillators);
+* telemetry is bursty: quiet monitoring punctuated by event bursts
+  (all sensors report at once), within a leaky-bucket envelope.
+
+We compare the deployment options an engineer actually has:
+
+1. naive TDMA with the drifting clocks (what breaks),
+2. CA-ARRoW (the paper's fix: collision-free, needs beacon "empty
+   signals"),
+3. AO-ARRoW (no control traffic at all — radios stay silent unless
+   they hold real data).
+
+Run:  python examples/sensor_network.py
+"""
+
+from repro.algorithms import AOArrow, CAArrow, NaiveTDMA
+from repro.analysis import collect_metrics
+from repro.arrivals import BurstyRate
+from repro.core import Simulator
+from repro.timing import CyclicPattern
+
+N_SENSORS = 8
+R = 2  # worst-case timer drift factor
+HORIZON = 12_000
+
+# Cheap-oscillator drift: every sensor cycles its own slot pattern.
+DRIFT = CyclicPattern(
+    {
+        1: [1, "5/4"], 2: ["3/2"], 3: [2, 1], 4: ["7/4", "5/4", 1],
+        5: [1], 6: [2], 7: ["5/4", "3/2"], 8: [1, 2, "3/2"],
+    }
+)
+
+
+def burst_workload():
+    # Event bursts: all 8 sensors fire together, ~20% average load.
+    return BurstyRate(
+        rho="1/5",
+        burst_size=N_SENSORS,
+        targets=list(range(1, N_SENSORS + 1)),
+        assumed_cost=R,
+    )
+
+
+def deploy(name, algorithms):
+    sim = Simulator(
+        algorithms,
+        DRIFT,
+        max_slot_length=R,
+        arrival_source=burst_workload(),
+    )
+    sim.run(until_time=HORIZON)
+    metrics = collect_metrics(sim)
+    lat = (
+        f"{float(metrics.mean_latency):8.1f}"
+        if metrics.mean_latency is not None
+        else "     n/a"
+    )
+    print(
+        f"{name:<14} delivered={metrics.delivered:5d}  "
+        f"backlog={metrics.backlog:4d} (peak {metrics.max_backlog:4d})  "
+        f"collisions={metrics.collisions:5d}  beacons={metrics.control_transmissions:6d}  "
+        f"mean latency={lat}"
+    )
+    return metrics
+
+
+def main() -> None:
+    print(
+        f"{N_SENSORS} drifting sensors, bursty telemetry at 20% load, "
+        f"drift bound R={R}, horizon {HORIZON}\n"
+    )
+    tdma = deploy(
+        "naive TDMA", {i: NaiveTDMA(i, N_SENSORS) for i in range(1, N_SENSORS + 1)}
+    )
+    ca = deploy(
+        "CA-ARRoW", {i: CAArrow(i, N_SENSORS, R) for i in range(1, N_SENSORS + 1)}
+    )
+    ao = deploy(
+        "AO-ARRoW", {i: AOArrow(i, N_SENSORS, R) for i in range(1, N_SENSORS + 1)}
+    )
+
+    print()
+    print("what the numbers say:")
+    print(
+        f"  - TDMA's slots drift into each other: {tdma.collisions} collisions; "
+        "deliveries survive only by luck of the drift pattern"
+    )
+    print(
+        f"  - CA-ARRoW: zero collisions ({ca.collisions}) at the price of "
+        f"{ca.control_transmissions} beacon transmissions"
+    )
+    print(
+        f"  - AO-ARRoW: zero control traffic ({ao.control_transmissions}) at the "
+        f"price of election collisions ({ao.collisions}) and higher latency"
+    )
+    assert ca.collisions == 0
+    assert ao.control_transmissions == 0
+
+
+if __name__ == "__main__":
+    main()

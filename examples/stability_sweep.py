@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Stability frontier sweep: AO-ARRoW vs CA-ARRoW vs slotted Aloha.
+
+The paper's central claim (Fig. 1): under bounded asynchrony the two
+ARRoW protocols keep queues bounded at *every* injection rate below 1,
+while classical randomized access (Aloha) gives up far earlier — and
+at rate exactly 1 nothing survives (Theorem 5).  This example sweeps
+the rate and prints the measured frontier.
+
+Run:  python examples/stability_sweep.py
+"""
+
+from repro.algorithms import AOArrow, CAArrow, SlottedAloha
+from repro.analysis import assess_stability
+from repro.arrivals import UniformRate
+from repro.core import Simulator, Trace
+from repro.timing import Synchronous, worst_case_for
+
+N, R = 4, 2
+HORIZON = 10_000
+RATES = ["1/4", "1/2", "7/10", "9/10"]
+
+
+def run_one(make_algos, slot_adversary, r_bound, rho, assumed_cost):
+    trace = Trace(backlog_stride=8)
+    source = UniformRate(
+        rho=rho, targets=list(range(1, N + 1)), assumed_cost=assumed_cost
+    )
+    sim = Simulator(
+        make_algos(), slot_adversary, max_slot_length=r_bound,
+        arrival_source=source, trace=trace,
+    )
+    sim.run(until_time=HORIZON)
+    samples = trace.backlog_series()
+    samples.append((sim.now, sim.total_backlog))
+    verdict = assess_stability(samples, HORIZON, tolerance=5)
+    return verdict, sim
+
+
+PROTOCOLS = {
+    # (factory, adversary factory, R, assumed cost)
+    "AO-ARRoW  (async R=2)": (
+        lambda: {i: AOArrow(i, N, R) for i in range(1, N + 1)},
+        lambda: worst_case_for(R), R, R,
+    ),
+    "CA-ARRoW  (async R=2)": (
+        lambda: {i: CAArrow(i, N, R) for i in range(1, N + 1)},
+        lambda: worst_case_for(R), R, R,
+    ),
+    "Aloha p=1/n (sync)  ": (
+        lambda: {
+            i: SlottedAloha(i, transmit_probability=1 / N, seed=11)
+            for i in range(1, N + 1)
+        },
+        Synchronous, 1, 1,
+    ),
+}
+
+
+def main() -> None:
+    header = "protocol".ljust(22) + "".join(rho.center(12) for rho in RATES)
+    print(header)
+    print("-" * len(header))
+    for name, (make, adversary, r_bound, cost) in PROTOCOLS.items():
+        cells = []
+        for rho in RATES:
+            verdict, sim = run_one(make, adversary(), r_bound, rho, cost)
+            mark = "stable" if verdict.stable else "UNSTABLE"
+            cells.append(f"{mark}({verdict.peak})".center(12))
+        print(name.ljust(22) + "".join(cells))
+    print(
+        "\ncells show verdict(peak backlog); ARRoW protocols hold the "
+        "line at every rho < 1 — Aloha collapses first (Fig. 1 / Thms 3 & 6)."
+    )
+
+
+if __name__ == "__main__":
+    main()

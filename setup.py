@@ -1,0 +1,9 @@
+"""Shim for environments without the `wheel` package (offline installs).
+
+`pip install -e . --no-use-pep517` and plain `python setup.py develop`
+both work through this file; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""All channel-access algorithms: the paper's and the baselines.
+
+* ``ABSLeaderElection`` / ``AbsCore`` — Fig. 3 (Section III).
+* ``AOArrow`` — Fig. 5 (Section IV), no control messages.
+* ``CAArrow`` — Fig. 6 (Section VI), collision-free.
+* ``RRW``, ``NaiveTDMA``, ``MBTFLike``, ``SlottedAloha`` —
+  synchronous-era baselines for Fig. 1's comparison columns.
+"""
+
+from .abs_leader import ABSLeaderElection, AbsCore, id_bit
+from .ca_arrow_ft import FaultTolerantCAArrow, FTCAArrowStats, skip_thresholds
+from .k_selection import KSelection
+from .randomized_sst import RandomizedSST, RandomizedSSTStats
+from .unknown_r import DoublingABS, EpochLog, epoch_budget, epoch_guess
+from .aloha import AlohaStats, SlottedAloha
+from .ao_arrow import AOArrow, AOArrowStats
+from .ca_arrow import CAArrow, CAArrowStats
+from .mbtf import MBTFLike, TokenRingStats
+from .round_robin import RRW, NaiveTDMA, RRWStats
+
+__all__ = [
+    "ABSLeaderElection",
+    "AbsCore",
+    "AlohaStats",
+    "AOArrow",
+    "AOArrowStats",
+    "CAArrow",
+    "CAArrowStats",
+    "DoublingABS",
+    "EpochLog",
+    "FaultTolerantCAArrow",
+    "FTCAArrowStats",
+    "KSelection",
+    "MBTFLike",
+    "NaiveTDMA",
+    "RandomizedSST",
+    "RandomizedSSTStats",
+    "RRW",
+    "RRWStats",
+    "SlottedAloha",
+    "TokenRingStats",
+    "epoch_budget",
+    "epoch_guess",
+    "id_bit",
+    "skip_thresholds",
+]

@@ -1,0 +1,257 @@
+"""AO-ARRoW — Adaptive Order Asynchronous Round Robin Withholding.
+
+The paper's Section IV algorithm (Fig. 5): dynamic packet transmission
+with **no control messages** (every transmission carries a genuine
+queued packet; collisions are allowed and mitigated online).  Theorem 3
+proves it universally stable: for every injection rate ``rho < 1`` and
+burstiness ``b``, the total queued cost stays below the explicit bound
+``L`` of :func:`repro.analysis.bounds.ao_queue_bound_L`.
+
+Life cycle of a station (box labels from Fig. 5):
+
+* **Election** (box (2)) — run the ABS subroutine
+  (:class:`~repro.algorithms.abs_leader.AbsCore`) with packet-carrying
+  transmissions.  The ABS winner's successful transmission already
+  delivers one packet.
+* **Drain** (box (4)) — the winner transmits its remaining packets
+  back-to-back, then *withholds*: sets ``wait = n - 1`` so that it only
+  competes again after observing ``n - 1`` further rounds (boxes (6)).
+* **Observe** (boxes (1)/(3)/(8)) — losers and waiting stations listen.
+  A *round boundary* is an acknowledgment followed by the first silent
+  slot (the winner's last packet, then quiet); each boundary decrements
+  ``wait``, and an eligible station (non-empty queue, ``wait == 0``)
+  joins the next election at the boundary it observes.
+* **Long silence** (boxes (7)/(9)) — if the channel stays silent for
+  ``threshold`` consecutive slots, no election can possibly be running
+  (the threshold exceeds the longest in-election silence times ``R``),
+  so every station zeroes its ``wait``.  A station with packets then
+  waits ``R * threshold`` *additional* slots (guaranteeing every other
+  station has also crossed its own threshold, whatever its slot
+  lengths) and transmits a **synchronization signal** — a genuine
+  packet.  Every station that hears activity after a crossed threshold
+  classifies it as a sync signal and (if it has packets) joins a fresh
+  election, so contenders rejoin within ``r`` time of each other, the
+  precondition for ABS's Lemma 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..analysis.bounds import (
+    ao_sync_extra_wait,
+    ao_sync_silence_threshold,
+)
+from ..core.errors import ConfigurationError, ProtocolError
+from ..core.feedback import Feedback
+from ..core.station import (
+    LISTEN,
+    TRANSMIT_PACKET,
+    Action,
+    SlotContext,
+    StationAlgorithm,
+)
+from ..core.timebase import TimeLike, as_time
+from .abs_leader import AbsCore
+
+
+@dataclass(slots=True)
+class AOArrowStats:
+    """Per-station counters exposed for the stability analyses."""
+
+    elections_entered: int = 0
+    elections_won: int = 0
+    packets_drained: int = 0
+    sync_signals_sent: int = 0
+    rounds_observed: int = 0
+    drain_collisions: int = 0
+
+
+class AOArrow(StationAlgorithm):
+    """One AO-ARRoW station (Fig. 5 automaton).
+
+    Args:
+        station_id: This station's unique ID in ``[n]`` (drives ABS).
+        n_stations: ``n``, the ID-space size; used for the withholding
+            counter ``wait = n - 1``.
+        max_slot_length: The asynchrony bound ``R``.
+    """
+
+    uses_control_messages = False
+    collision_free_by_design = False
+
+    def __init__(
+        self, station_id: int, n_stations: int, max_slot_length: TimeLike
+    ) -> None:
+        if not 1 <= station_id <= n_stations:
+            raise ConfigurationError(
+                f"station id {station_id} outside [1, {n_stations}]"
+            )
+        self.station_id = station_id
+        self.n_stations = n_stations
+        self.max_slot_length = as_time(max_slot_length)
+        #: Silent slots proving no election is in progress (box (7)).
+        self.sync_threshold = ao_sync_silence_threshold(self.max_slot_length)
+        #: Extra slots before emitting the sync signal (box (9)).
+        self.sync_extra = ao_sync_extra_wait(self.max_slot_length)
+
+        self.state = "observe"
+        self.wait = 0
+        self.silence_run = 0
+        self.saw_ack = False
+        self.sync_count = 0
+        self.core: Optional[AbsCore] = None
+        self.stats = AOArrowStats()
+
+    # ------------------------------------------------------------------
+    # State helpers
+    # ------------------------------------------------------------------
+
+    def _begin_election(self) -> Action:
+        """Enter box (2): fresh ABS core, packet-carrying transmissions."""
+        self.core = AbsCore(
+            station_id=self.station_id,
+            max_slot_length=self.max_slot_length,
+            carries_packet=True,
+        )
+        self.state = "election"
+        self.stats.elections_entered += 1
+        return self.core.start()
+
+    def _enter_observe(self, saw_ack: bool) -> Action:
+        self.state = "observe"
+        self.core = None
+        self.saw_ack = saw_ack
+        self.silence_run = 0
+        return LISTEN
+
+    def _finish_own_round(self) -> Action:
+        """Winner done draining: withhold for ``n - 1`` rounds (box (6))."""
+        self.wait = self.n_stations - 1
+        return self._enter_observe(saw_ack=False)
+
+    # ------------------------------------------------------------------
+    # StationAlgorithm interface
+    # ------------------------------------------------------------------
+
+    def first_action(self, ctx: SlotContext) -> Action:
+        # Box (1) at time 0: stations holding packets start the first
+        # election simultaneously; the rest observe.
+        if ctx.queue_size > 0:
+            return self._begin_election()
+        return self._enter_observe(saw_ack=False)
+
+    def on_slot_end(self, ctx: SlotContext) -> Action:
+        feedback = self._require_feedback(ctx)
+        if self.state == "election":
+            return self._step_election(feedback, ctx.queue_size)
+        if self.state == "drain":
+            return self._step_drain(feedback, ctx.queue_size)
+        if self.state == "sync_wait":
+            return self._step_sync_wait(feedback)
+        if self.state == "sync_tx":
+            return self._step_sync_tx(feedback, ctx.queue_size)
+        if self.state == "observe":
+            return self._step_observe(feedback, ctx.queue_size)
+        raise ProtocolError(f"AO-ARRoW in unknown state {self.state!r}")
+
+    # ------------------------------------------------------------------
+    # Per-state steps
+    # ------------------------------------------------------------------
+
+    def _step_election(self, feedback: Feedback, queue_size: int) -> Action:
+        assert self.core is not None
+        action = self.core.step(feedback)
+        if action is not None:
+            return action
+        if self.core.outcome == "won":
+            self.stats.elections_won += 1
+            # The winning ABS transmission already delivered one packet
+            # (the simulator pops it on the ack we just consumed).
+            if queue_size > 0:
+                self.state = "drain"
+                self.core = None
+                return TRANSMIT_PACKET
+            return self._finish_own_round()
+        # Eliminated.  By ack: the winner is known, the next silent slot
+        # is the round boundary.  By busy: the election is still in
+        # progress; the winner's ack is yet to come.
+        return self._enter_observe(saw_ack=self.core.eliminated_by_ack)
+
+    def _step_drain(self, feedback: Feedback, queue_size: int) -> Action:
+        if feedback is Feedback.ACK:
+            self.stats.packets_drained += 1
+            if queue_size > 0:
+                return TRANSMIT_PACKET
+            return self._finish_own_round()
+        if feedback is Feedback.BUSY:
+            # A collision while holding the channel cannot happen in a
+            # conforming execution (observers are silent until the round
+            # boundary); tolerate it by retrying so a perturbed run
+            # degrades instead of crashing.
+            self.stats.drain_collisions += 1
+            return TRANSMIT_PACKET
+        raise ProtocolError(
+            "silence feedback on a transmitting slot — broken channel model"
+        )
+
+    def _step_sync_wait(self, feedback: Feedback) -> Action:
+        if feedback.is_activity:
+            # Another newly eligible station beat us to the sync signal;
+            # rejoin the competition with it (box (9) edge).
+            return self._begin_election()
+        self.sync_count += 1
+        if self.sync_count >= self.sync_extra:
+            self.state = "sync_tx"
+            return TRANSMIT_PACKET
+        return LISTEN
+
+    def _step_sync_tx(self, feedback: Feedback, queue_size: int) -> Action:
+        if feedback is Feedback.SILENCE:
+            raise ProtocolError(
+                "silence feedback on a transmitting slot — broken channel model"
+            )
+        self.stats.sync_signals_sent += 1
+        # ACK: our sync packet was delivered (and popped); BUSY: it
+        # collided with a concurrent sync signal and stays queued.
+        # Either way every waiting station now rejoins the election.
+        if queue_size > 0:
+            return self._begin_election()
+        return self._enter_observe(saw_ack=False)
+
+    def _step_observe(self, feedback: Feedback, queue_size: int) -> Action:
+        if feedback.is_activity:
+            if self.silence_run >= self.sync_threshold:
+                # Sync signal: the preceding silence was provably longer
+                # than any in-election gap, so this activity (re)starts
+                # competition.  Everyone is eligible again.
+                self.wait = 0
+                self.silence_run = 0
+                self.saw_ack = False
+                if queue_size > 0:
+                    return self._begin_election()
+                return LISTEN
+            if feedback is Feedback.ACK:
+                self.saw_ack = True
+            self.silence_run = 0
+            return LISTEN
+
+        # Silence.
+        self.silence_run += 1
+        if self.saw_ack:
+            # Round boundary: the winner's last delivery, then quiet.
+            self.saw_ack = False
+            self.stats.rounds_observed += 1
+            if self.wait > 0:
+                self.wait -= 1
+            if queue_size > 0 and self.wait == 0:
+                return self._begin_election()
+            return LISTEN
+        if self.silence_run >= self.sync_threshold:
+            # Long silence (box (7)): no station can be eligible.
+            self.wait = 0
+            if queue_size > 0:
+                self.state = "sync_wait"
+                self.sync_count = 0
+        return LISTEN

@@ -1,0 +1,143 @@
+"""k-selection: electing k distinct leaders (§VII, "other primitives").
+
+The paper studies one primitive — SST / leader election — and asks
+about others.  The natural next one is *k-selection*: exactly ``k``
+distinct stations must each transmit successfully, one after another
+(the contention-resolution workhorse behind group testing and
+reservation phases).  On this channel it composes cleanly out of ABS:
+
+* all contenders run ABS; the round's winner takes **rank**
+  ``(wins observed so far) + 1`` and retires to listening;
+* every station — contender or not — counts wins reliably, because a
+  round's single successful transmission is heard as an ack by every
+  listener under any slot lengths (the first-success lemma, applied
+  per round: concurrent transmitters would have destroyed it, and all
+  non-transmitters' slots cover its end);
+* losers wait out the round (ack, then first silence) and re-enter,
+  within ``r`` of each other — the same re-entry discipline AO-ARRoW
+  uses;
+* everyone stops once ``k`` wins have been counted.
+
+Slot cost: ``k`` ABS rounds, i.e. ``O(k R^2 log n)`` — measured by the
+extension tests against ``k * abs_slot_upper_bound``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.errors import ConfigurationError
+from ..core.feedback import Feedback
+from ..core.station import LISTEN, Action, SlotContext, StationAlgorithm
+from ..core.timebase import TimeLike
+from .abs_leader import AbsCore
+
+
+class KSelection(StationAlgorithm):
+    """One station of a k-selection run.
+
+    Terminal outcomes: ``rank`` in ``1..k`` for the selected stations,
+    ``None`` rank with :attr:`is_done` true for the rest (they stop
+    once the k-th win is heard).
+
+    Args:
+        station_id: Unique id in ``[n]``.
+        k: How many winners to elect; ``1`` degenerates to SST.
+        max_slot_length: The bound ``R`` (drives the inner ABS).
+    """
+
+    uses_control_messages = True
+
+    def __init__(self, station_id: int, k: int, max_slot_length: TimeLike) -> None:
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        self.station_id = station_id
+        self.k = k
+        self.max_slot_length = max_slot_length
+        self.wins_observed = 0
+        #: My rank if selected (1-based); None otherwise.
+        self.rank: Optional[int] = None
+        self.state = "election"  # election | observe | finished
+        self.saw_ack = False
+        self.core: Optional[AbsCore] = AbsCore(
+            station_id=station_id, max_slot_length=max_slot_length
+        )
+
+    @property
+    def is_done(self) -> bool:
+        return self.state == "finished"
+
+    @property
+    def selected(self) -> bool:
+        return self.rank is not None
+
+    def _count_win(self) -> None:
+        self.wins_observed += 1
+        if self.wins_observed >= self.k:
+            self.state = "finished"
+            self.core = None
+
+    def _enter_observe(self, saw_ack: bool) -> Action:
+        self.state = "observe"
+        self.core = None
+        self.saw_ack = saw_ack
+        return LISTEN
+
+    def first_action(self, ctx: SlotContext) -> Action:
+        assert self.core is not None
+        return self.core.start()
+
+    def on_slot_end(self, ctx: SlotContext) -> Action:
+        feedback = self._require_feedback(ctx)
+        if self.state == "finished":
+            return LISTEN
+
+        if self.state == "election":
+            assert self.core is not None
+            action = self.core.step(feedback)
+            if action is not None:
+                return action
+            if self.core.outcome == "won":
+                self.rank = self.wins_observed + 1
+                self._count_win()
+                if self.state != "finished":
+                    # Selected, but the run continues for others; a
+                    # ranked station just listens until the k-th win.
+                    self.state = "observe"
+                    self.saw_ack = False
+                    self.core = None
+                return LISTEN
+            # Eliminated: by ack => that round's win is already counted
+            # here; by busy => the win is still to come.
+            if self.core.eliminated_by_ack:
+                self._count_win()
+                if self.state == "finished":
+                    return LISTEN
+                return self._enter_observe(saw_ack=True)
+            return self._enter_observe(saw_ack=False)
+
+        # Observe: wait out the current round, counting its win.
+        if feedback is Feedback.ACK:
+            if not self.saw_ack:
+                # The round's win (rounds have exactly one success —
+                # winners retire and carry no packets to drain).
+                self._count_win()
+                if self.state == "finished":
+                    return LISTEN
+                self.saw_ack = True
+            return LISTEN
+        if feedback is Feedback.BUSY:
+            return LISTEN
+        # Silence.
+        if self.saw_ack:
+            # Round over; unranked stations re-enter the next election.
+            self.saw_ack = False
+            if self.rank is None:
+                self.state = "election"
+                self.core = AbsCore(
+                    station_id=self.station_id,
+                    max_slot_length=self.max_slot_length,
+                )
+                return self.core.start()
+        return LISTEN

@@ -1,0 +1,146 @@
+"""MBTF-style synchronous token ring with control messages.
+
+Fig. 1's synchronous reference for the rows that allow control
+messages is MBTF (Move-Big-To-Front, Chlebus–Kowalski–Rokicki 2009),
+universally stable with queue bound ``2(n^2 + b)``.  Full MBTF relies
+on stations reading control *content* attached to transmissions; our
+channel model (shared with the paper) is content-opaque, so this module
+provides the documented stand-in from DESIGN.md: a withholding token
+ring in which **empty turns emit an audible empty signal** instead of
+passing silently.
+
+That one difference from :class:`~repro.algorithms.round_robin.RRW`
+is exactly the control-message capability of Fig. 1's model axis, and
+it preserves the property the table row records: universal stability
+for every ``rho < 1`` on the synchronous channel, with queues bounded
+by ``O(n^2/(1-rho) + b)``-shaped constants (each idle cycle costs
+``2n`` slots instead of ``n``).
+
+The turn-tracking rule is "activity, then a silent slot, advances the
+token", which stays well-defined because every turn produces at least
+one transmission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ConfigurationError, ProtocolError
+from ..core.feedback import Feedback
+from ..core.station import (
+    LISTEN,
+    TRANSMIT_CONTROL,
+    TRANSMIT_PACKET,
+    Action,
+    SlotContext,
+    StationAlgorithm,
+)
+
+
+@dataclass(slots=True)
+class TokenRingStats:
+    """Counters for the synchronous-baseline experiments."""
+
+    turns_taken: int = 0
+    packets_sent: int = 0
+    empty_signals_sent: int = 0
+    retries: int = 0
+
+
+class MBTFLike(StationAlgorithm):
+    """Withholding token ring with empty signals (synchronous, R = 1).
+
+    States:
+
+    * ``wait`` — not my turn: listen; *activity then silence* advances
+      the token.
+    * ``transmit`` — my turn: send all packets (or one empty signal),
+      then fall silent; my silent slot is what everyone (including me)
+      uses to advance.
+
+    Station 1 holds the first turn and transmits at time 0.
+    """
+
+    uses_control_messages = True
+    collision_free_by_design = True  # ...under synchrony (R = 1)
+
+    def __init__(self, station_id: int, n_stations: int) -> None:
+        if not 1 <= station_id <= n_stations:
+            raise ConfigurationError(
+                f"station id {station_id} outside [1, {n_stations}]"
+            )
+        self.station_id = station_id
+        self.n_stations = n_stations
+        self.turn = 1
+        self.state = "wait"
+        self.heard_activity = False
+        self._noise_turn = False
+        self.stats = TokenRingStats()
+
+    def _advance(self) -> Action:
+        self.turn = self.turn % self.n_stations + 1
+        self.heard_activity = False
+        if self.turn == self.station_id:
+            return self._begin_turn_pending()
+        self.state = "wait"
+        return LISTEN
+
+    def _begin_turn_pending(self) -> Action:
+        # In the synchronous protocol the new holder starts in the very
+        # next slot after the turn-ending silence; no gap is needed
+        # because unit slots are globally aligned.
+        self.state = "transmit_pending"
+        return LISTEN
+
+    def _begin_transmission(self, queue_size: int) -> Action:
+        self.state = "transmit"
+        self.stats.turns_taken += 1
+        if queue_size > 0:
+            self._noise_turn = False
+            return TRANSMIT_PACKET
+        self._noise_turn = True
+        return TRANSMIT_CONTROL
+
+    def first_action(self, ctx: SlotContext) -> Action:
+        if self.station_id == 1:
+            return self._begin_transmission(ctx.queue_size)
+        return LISTEN
+
+    def on_slot_end(self, ctx: SlotContext) -> Action:
+        feedback = self._require_feedback(ctx)
+        if self.state == "transmit":
+            return self._step_transmit(feedback, ctx.queue_size)
+        if self.state == "transmit_pending":
+            # The slot between the turn-ending silence and our first
+            # transmission: begin immediately.
+            return self._begin_transmission(ctx.queue_size)
+        if self.state == "wait":
+            return self._step_wait(feedback)
+        raise ProtocolError(f"MBTFLike in unknown state {self.state!r}")
+
+    def _step_transmit(self, feedback: Feedback, queue_size: int) -> Action:
+        if feedback is Feedback.SILENCE:
+            raise ProtocolError(
+                "silence feedback on a transmitting slot — broken channel model"
+            )
+        if feedback is Feedback.BUSY:
+            self.stats.retries += 1
+            return TRANSMIT_CONTROL if self._noise_turn else TRANSMIT_PACKET
+        if self._noise_turn:
+            self.stats.empty_signals_sent += 1
+        else:
+            self.stats.packets_sent += 1
+            if queue_size > 0:
+                return TRANSMIT_PACKET
+        # Done; my next slot is silent and advances everyone's token.
+        self.state = "wait"
+        self.heard_activity = True  # my own burst counts as activity
+        return LISTEN
+
+    def _step_wait(self, feedback: Feedback) -> Action:
+        if feedback.is_activity:
+            self.heard_activity = True
+            return LISTEN
+        if self.heard_activity:
+            return self._advance()
+        return LISTEN

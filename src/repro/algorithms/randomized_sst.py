@@ -1,0 +1,119 @@
+"""Randomized SST (open problem, §VII: "advantages of randomization").
+
+Theorem 2's ``Omega(r (log n / log r + 1))`` lower bound is proved for
+*deterministic* algorithms — the mirror adversary simulates stations
+forward to pick its delays.  Against an algorithm whose coin flips the
+adversary cannot predict, mirroring fails, and a much simpler protocol
+already solves SST quickly *in expectation*:
+
+    every slot, while still competing, transmit with probability ``p``
+    (otherwise listen);  exit with winning on an ack of one's own,
+    by elimination on any ack heard while listening.
+
+Safety (exactly one winner) is again the first-success lemma (see
+:mod:`repro.algorithms.unknown_r`): the first successful transmission
+is heard by all, under any slot lengths, known or unknown ``R``.
+Liveness: for ``p ~ 1/n`` the probability that exactly one station's
+transmission covers a given stretch of channel time is a constant, so
+the expected slot count is ``O(n)`` with ``p = 1/n`` or ``O(2^k)``-free
+``O(log)``-style behaviour with decaying ``p`` — the extension bench
+measures both and contrasts them with ABS and the deterministic lower
+bound formula.
+
+The flips come from a per-station seeded RNG held in the automaton's
+state.  Note for adversary experiments: our adaptive adversaries
+*clone* station state, RNG included, so they can predict flips —
+running the mirror construction against this class models a
+"seed-revealing" adversary, which is strictly stronger than the
+randomized-algorithm setting assumes.  The bench documents this
+asymmetry instead of hiding it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.errors import ConfigurationError
+from ..core.feedback import Feedback
+from ..core.station import (
+    LISTEN,
+    TRANSMIT_CONTROL,
+    Action,
+    SlotContext,
+    StationAlgorithm,
+)
+
+
+@dataclass(slots=True)
+class RandomizedSSTStats:
+    attempts: int = 0
+    slots_competed: int = 0
+
+
+class RandomizedSST(StationAlgorithm):
+    """Coin-flipping SST contender.
+
+    Args:
+        station_id: Used to derive the per-station RNG stream.
+        transmit_probability: Per-slot attempt probability ``p``; the
+            classical contention-optimal choice is ``1/n``.
+        decay: Multiply ``p`` by this factor after every unsuccessful
+            own attempt (geometric backoff); ``1.0`` disables decay.
+        seed: Base seed (combined with the station id).
+    """
+
+    uses_control_messages = True
+
+    def __init__(
+        self,
+        station_id: int,
+        transmit_probability: float,
+        decay: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0 < transmit_probability <= 1:
+            raise ConfigurationError(
+                f"transmit probability must be in (0, 1], got {transmit_probability}"
+            )
+        if not 0 < decay <= 1:
+            raise ConfigurationError(f"decay must be in (0, 1], got {decay}")
+        self.station_id = station_id
+        self.probability = transmit_probability
+        self.decay = decay
+        self._rng = random.Random((seed << 24) ^ (station_id * 2654435761))
+        self.outcome: Optional[str] = None
+        self._was_transmitting = False
+        self.stats = RandomizedSSTStats()
+
+    @property
+    def is_done(self) -> bool:
+        return self.outcome is not None
+
+    def _flip(self) -> Action:
+        self.stats.slots_competed += 1
+        if self._rng.random() < self.probability:
+            self.stats.attempts += 1
+            self._was_transmitting = True
+            return TRANSMIT_CONTROL
+        self._was_transmitting = False
+        return LISTEN
+
+    def first_action(self, ctx: SlotContext) -> Action:
+        return self._flip()
+
+    def on_slot_end(self, ctx: SlotContext) -> Action:
+        feedback = self._require_feedback(ctx)
+        if self.outcome is not None:
+            return LISTEN
+        if feedback is Feedback.ACK:
+            # Mine if I was on the air (a concurrent success would have
+            # collided with me); someone else's otherwise.
+            self.outcome = "won" if self._was_transmitting else "eliminated"
+            return LISTEN
+        if self._was_transmitting:
+            # Collided: back off.
+            self.probability *= self.decay
+        self._was_transmitting = False
+        return self._flip()

@@ -1,0 +1,146 @@
+"""Synchronous-era round-robin baselines (Fig. 1's R = 1 reference rows).
+
+Two classic collision-avoiding, control-message-free schedulers:
+
+* :class:`NaiveTDMA` — static time-division: station ``i`` owns every
+  ``n``-th slot by its own slot count.  Collision-free under perfect
+  synchrony; under bounded asynchrony the per-station slot counters
+  drift at unknown relative rates, so "my slot" loses all meaning —
+  this is the canonical victim of the Theorem 4 collision-forcing
+  adversary.
+* :class:`RRW` — Round-Robin Withholding (Chlebus, Kowalski, Rokicki):
+  a virtual token moves cyclically; the holder transmits *all* its
+  packets back-to-back (withholding the channel), and a silent slot
+  passes the token.  Universally stable on the synchronous channel;
+  under asynchrony the silence-based token passing desynchronizes and
+  the protocol collides or starves — Fig. 1's row-1 contrast.
+
+Both are faithful to their synchronous specifications; running them
+with ``R > 1`` adversaries is intentional (that is the experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ConfigurationError, ProtocolError
+from ..core.feedback import Feedback
+from ..core.station import (
+    LISTEN,
+    TRANSMIT_PACKET,
+    Action,
+    SlotContext,
+    StationAlgorithm,
+)
+
+
+class NaiveTDMA(StationAlgorithm):
+    """Static TDMA by local slot count: slot ``j`` belongs to station
+    ``(j mod n) + 1``.
+
+    The station transmits in its own slots whenever it has packets and
+    never otherwise; channel feedback is ignored entirely (an
+    *oblivious* schedule).  With synchronized unit slots no two
+    transmissions can ever overlap; the Theorem 4 experiments show any
+    such collision-avoiding control-free discipline breaks under
+    bounded asynchrony.
+    """
+
+    uses_control_messages = False
+    collision_free_by_design = True  # ...under synchrony; Thm 4 refutes it for R > 1
+
+    def __init__(self, station_id: int, n_stations: int) -> None:
+        if not 1 <= station_id <= n_stations:
+            raise ConfigurationError(
+                f"station id {station_id} outside [1, {n_stations}]"
+            )
+        self.station_id = station_id
+        self.n_stations = n_stations
+
+    def _my_slot(self, slot_index: int) -> bool:
+        return slot_index % self.n_stations == self.station_id - 1
+
+    def first_action(self, ctx: SlotContext) -> Action:
+        if self._my_slot(0) and ctx.queue_size > 0:
+            return TRANSMIT_PACKET
+        return LISTEN
+
+    def on_slot_end(self, ctx: SlotContext) -> Action:
+        if self._my_slot(ctx.slot_index) and ctx.queue_size > 0:
+            return TRANSMIT_PACKET
+        return LISTEN
+
+
+@dataclass(slots=True)
+class RRWStats:
+    """Counters for the RRW stability experiments."""
+
+    turns_taken: int = 0
+    packets_sent: int = 0
+    retries: int = 0
+
+
+class RRW(StationAlgorithm):
+    """Round-Robin Withholding, the synchronous reference of Fig. 1 row 1.
+
+    Token-passing by silence: every station tracks ``turn``; a silent
+    slot means the holder passed (empty queue) or just finished its
+    burst, so everyone advances ``turn``.  The holder with packets
+    transmits them all, then stays quiet — that quiet slot *is* the
+    pass.  No control messages are ever sent and, under synchrony, no
+    two stations can transmit in the same slot.
+
+    On a busy/collided slot while transmitting the holder retries (the
+    synchronous model never produces one; under asynchrony the retry
+    loop makes the induced instability visible rather than crashing).
+    """
+
+    uses_control_messages = False
+    collision_free_by_design = True  # ...under synchrony (R = 1)
+
+    def __init__(self, station_id: int, n_stations: int) -> None:
+        if not 1 <= station_id <= n_stations:
+            raise ConfigurationError(
+                f"station id {station_id} outside [1, {n_stations}]"
+            )
+        self.station_id = station_id
+        self.n_stations = n_stations
+        self.turn = 1
+        self.transmitting = False
+        self.stats = RRWStats()
+
+    def _advance(self) -> None:
+        self.turn = self.turn % self.n_stations + 1
+
+    def _holder_action(self, queue_size: int) -> Action:
+        if self.turn == self.station_id and queue_size > 0:
+            if not self.transmitting:
+                self.stats.turns_taken += 1
+            self.transmitting = True
+            return TRANSMIT_PACKET
+        self.transmitting = False
+        return LISTEN
+
+    def first_action(self, ctx: SlotContext) -> Action:
+        return self._holder_action(ctx.queue_size)
+
+    def on_slot_end(self, ctx: SlotContext) -> Action:
+        feedback = self._require_feedback(ctx)
+        if self.transmitting:
+            if feedback is Feedback.SILENCE:
+                raise ProtocolError(
+                    "silence feedback on a transmitting slot — broken channel model"
+                )
+            if feedback is Feedback.ACK:
+                self.stats.packets_sent += 1
+                if ctx.queue_size > 0:
+                    return TRANSMIT_PACKET
+                # Burst done; the next (silent) slot passes the token.
+                self.transmitting = False
+                return LISTEN
+            # Collided under asynchrony: retry while the turn is ours.
+            self.stats.retries += 1
+            return TRANSMIT_PACKET
+        if feedback is Feedback.SILENCE:
+            self._advance()
+        return self._holder_action(ctx.queue_size)

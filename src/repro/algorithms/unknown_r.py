@@ -1,0 +1,190 @@
+"""SST when the asynchrony bound R is *not* known (open problem, §VII).
+
+The paper asks: "one may assume that the bound R exists but is not
+known".  This module implements a guess-and-double scheme on top of
+ABS, built around an observation that makes *safety* free:
+
+**First-success lemma.**  On this channel, the first successful
+transmission is heard as an acknowledgment by every other station.
+Any station overlapping it with a transmission of its own would have
+destroyed it; every other station is listening in some slot whose end
+lies at/after the success's end, and that slot reports *ack*.  Hence
+an algorithm whose stations (a) exit *with winning* on their own ack
+and (b) exit *by elimination* on any ack heard while listening can
+never produce two winners — **whatever the slot lengths are**.  ABS
+already behaves this way; wrong guesses of R therefore threaten only
+*liveness* (perpetual collisions/eliminations), never uniqueness.
+
+``DoublingABS`` exploits this: epochs ``e = 0, 1, 2, ...`` run ABS
+with guess ``R_e = 2^e``.  A station eliminated *by busy* (election
+noise, possibly an artifact of a too-small guess) is not out — it
+idles to the end of its epoch's own-slot budget and re-enters with a
+doubled guess.  A station eliminated *by ack* is out for good (SST is
+already solved), and an acked transmission of one's own is a committed
+win.  Once ``R_e >= r``, ABS's own progress argument applies within an
+epoch whose contenders it meets, and experiments show success well
+before perfect epoch alignment — the budget
+``E_e = R_e * abs_slot_upper_bound(n, R_e)`` paces re-entries so that
+contender sets thin out geometrically.
+
+Cost of not knowing R: the failed-epoch budgets sum to an
+``O(r^3 log n log r)`` worst case versus Theorem 1's
+``O(R^2 log n)`` — the extension bench measures the actual ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..analysis.bounds import abs_slot_upper_bound
+from ..core.errors import ConfigurationError
+from ..core.feedback import Feedback
+from ..core.station import LISTEN, Action, SlotContext, StationAlgorithm
+from .abs_leader import AbsCore
+
+
+def epoch_guess(epoch: int) -> int:
+    """The epoch's asynchrony guess: ``R_e = 2^e`` (epoch 0 is sync)."""
+    return 1 << epoch
+
+
+def epoch_budget(n: int, epoch: int) -> int:
+    """Own-slot budget of one epoch.
+
+    ``R_e`` times the ABS(R_e) slot bound: even against competitors
+    whose slots are ``R_e`` times longer, the budget outlasts their
+    election; plus slack for boundary effects.
+    """
+    guess = epoch_guess(epoch)
+    return guess * abs_slot_upper_bound(n, guess) + 4 * guess + 4
+
+
+@dataclass(slots=True)
+class EpochLog:
+    """What happened in one epoch at one station (for the benches)."""
+
+    epoch: int
+    guess: int
+    outcome: str  # "won" | "eliminated" | "retry" | "timeout"
+    slots_spent: int
+
+
+class DoublingABS(StationAlgorithm):
+    """Guess-and-double SST for unknown R.
+
+    Terminal outcomes: ``"won"`` (own transmission acknowledged) or
+    ``"eliminated"`` (someone's success was heard).  Eliminations *by
+    busy* within an epoch lead to a retry with a doubled guess.
+
+    Args:
+        station_id: Unique id in ``[n]``.
+        n_stations: ``n`` (epoch budgets depend on it).
+        max_epochs: Cap on doubling; a run against an adversary with
+            bound ``r`` commits well before guess ``2^max_epochs``.
+    """
+
+    uses_control_messages = True
+
+    def __init__(self, station_id: int, n_stations: int, max_epochs: int = 16):
+        if n_stations < 1:
+            raise ConfigurationError("need at least one station")
+        if max_epochs < 1:
+            raise ConfigurationError("need at least one epoch")
+        self.station_id = station_id
+        self.n_stations = n_stations
+        self.max_epochs = max_epochs
+        self.epoch = 0
+        self.slot_in_epoch = 0
+        self.core: Optional[AbsCore] = AbsCore(
+            station_id=station_id, max_slot_length=epoch_guess(0)
+        )
+        #: ``None`` while undecided, then "won" or "eliminated" forever.
+        self.outcome: Optional[str] = None
+        self.history: List[EpochLog] = []
+
+    @property
+    def is_done(self) -> bool:
+        return self.outcome is not None
+
+    @property
+    def total_slots_spent(self) -> int:
+        """Own slots consumed across all epochs (the cost metric)."""
+        return sum(log.slots_spent for log in self.history) + self.slot_in_epoch
+
+    # ------------------------------------------------------------------
+
+    def _log(self, outcome: str) -> None:
+        self.history.append(
+            EpochLog(
+                epoch=self.epoch,
+                guess=epoch_guess(self.epoch),
+                outcome=outcome,
+                slots_spent=self.slot_in_epoch,
+            )
+        )
+
+    def _terminate(self, outcome: str) -> Action:
+        self._log(outcome)
+        self.outcome = outcome
+        self.core = None
+        return LISTEN
+
+    def _next_epoch(self, reason: str) -> Action:
+        self._log(reason)
+        self.epoch += 1
+        self.slot_in_epoch = 1
+        if self.epoch >= self.max_epochs:
+            # Refuse to guess further; become a pure listener.  (Exit
+            # on a future ack still applies through on_slot_end.)
+            self.core = None
+            return LISTEN
+        self.core = AbsCore(
+            station_id=self.station_id,
+            max_slot_length=epoch_guess(self.epoch),
+        )
+        return self.core.start()
+
+    def first_action(self, ctx: SlotContext) -> Action:
+        assert self.core is not None
+        self.slot_in_epoch = 1
+        return self.core.start()
+
+    def on_slot_end(self, ctx: SlotContext) -> Action:
+        feedback = self._require_feedback(ctx)
+        if self.outcome is not None:
+            return LISTEN
+
+        # First-success lemma: any ack heard while not on the air means
+        # SST is solved by someone else.  (A transmitting station's own
+        # ack is handled through its core below.)
+        on_air = (
+            self.core is not None
+            and not self.core.done
+            and self.core.state == "transmitted"
+        )
+        if feedback is Feedback.ACK and not on_air:
+            return self._terminate("eliminated")
+
+        self.slot_in_epoch += 1
+        if self.core is None or self.core.done:
+            # Benched until the epoch budget runs out (or cap reached).
+            if self.epoch >= self.max_epochs:
+                return LISTEN
+            if self.slot_in_epoch >= epoch_budget(self.n_stations, self.epoch):
+                return self._next_epoch("retry")
+            return LISTEN
+
+        action = self.core.step(feedback)
+        if action is not None:
+            if self.slot_in_epoch >= epoch_budget(self.n_stations, self.epoch):
+                # Budget exhausted mid-election: abandon and re-guess.
+                return self._next_epoch("timeout")
+            return action
+        if self.core.outcome == "won":
+            return self._terminate("won")
+        if self.core.eliminated_by_ack:
+            return self._terminate("eliminated")
+        # Eliminated by busy: keep listening out the budget, then retry
+        # with a doubled guess.
+        return LISTEN

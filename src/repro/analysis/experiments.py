@@ -1,0 +1,119 @@
+"""Declarative experiment grids with CSV export.
+
+The benches and the CLI share this thin layer: an experiment *cell* is
+a named recipe (algorithms x slot adversary x workload x horizon); a
+*grid* is a list of cells run back-to-back, each yielding the same
+measurement record.  Results serialize to CSV so downstream analysis
+(spreadsheets, notebooks) needs nothing from this package.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..core.simulator import Simulator
+from ..core.station import StationAlgorithm
+from ..core.timebase import TimeLike, as_time
+from ..core.trace import Trace
+from .metrics import RunMetrics, collect_metrics
+from .stability import assess_stability
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentCell:
+    """One runnable configuration.
+
+    Factories (not instances) so that every run starts fresh and grids
+    stay trivially re-runnable.
+    """
+
+    name: str
+    algorithms: Callable[[], Dict[int, StationAlgorithm]]
+    slot_adversary: Callable[[], object]
+    arrival_source: Callable[[], Optional[object]]
+    max_slot_length: TimeLike
+    horizon: TimeLike
+    #: Free-form key=value labels copied into the result row.
+    labels: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True, slots=True)
+class CellResult:
+    """Measurements of one cell run."""
+
+    name: str
+    labels: Dict[str, str]
+    metrics: RunMetrics
+    stable: bool
+    peak_backlog: int
+
+    def as_row(self) -> Dict[str, object]:
+        """Flatten into a CSV-ready dictionary."""
+        row: Dict[str, object] = {"name": self.name}
+        row.update(self.labels)
+        row.update(
+            {
+                "horizon": str(self.metrics.horizon),
+                "delivered": self.metrics.delivered,
+                "backlog": self.metrics.backlog,
+                "peak_backlog": self.peak_backlog,
+                "stable": int(self.stable),
+                "collisions": self.metrics.collisions,
+                "control_transmissions": self.metrics.control_transmissions,
+                "throughput_cost": float(self.metrics.throughput_cost),
+                "mean_latency": (
+                    float(self.metrics.mean_latency)
+                    if self.metrics.mean_latency is not None
+                    else ""
+                ),
+            }
+        )
+        return row
+
+
+def run_cell(cell: ExperimentCell, backlog_stride: int = 8) -> CellResult:
+    """Execute one cell and collect its measurements."""
+    trace = Trace(backlog_stride=backlog_stride)
+    sim = Simulator(
+        cell.algorithms(),
+        cell.slot_adversary(),
+        max_slot_length=cell.max_slot_length,
+        arrival_source=cell.arrival_source(),
+        trace=trace,
+    )
+    horizon = as_time(cell.horizon)
+    sim.run(until_time=horizon)
+    samples = trace.backlog_series()
+    samples.append((sim.now, sim.total_backlog))
+    verdict = assess_stability(samples, horizon, tolerance=5)
+    return CellResult(
+        name=cell.name,
+        labels=dict(cell.labels),
+        metrics=collect_metrics(sim),
+        stable=verdict.stable,
+        peak_backlog=trace.max_backlog,
+    )
+
+
+def run_grid(cells: Sequence[ExperimentCell]) -> List[CellResult]:
+    """Run every cell in order (deterministic, independent runs)."""
+    return [run_cell(cell) for cell in cells]
+
+
+def write_csv(results: Iterable[CellResult], path: str) -> None:
+    """Serialize results; the header is the union of all row keys."""
+    rows = [result.as_row() for result in results]
+    if not rows:
+        raise ValueError("no results to write")
+    fieldnames: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(rows)

@@ -1,0 +1,89 @@
+"""Per-packet latency analysis.
+
+The paper's stability theorems bound *queue cost*; a user deploying
+AO-/CA-ARRoW also cares how long an individual packet waits (cf. the
+packet-latency line of work the paper cites [10]).  This module
+summarizes delivered-packet latency distributions — exact rational
+percentiles, per-station breakdowns — for the latency bench and the
+examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.errors import ConfigurationError
+from ..core.packet import Packet
+
+
+@dataclass(frozen=True, slots=True)
+class LatencySummary:
+    """Distribution summary of delivered-packet latencies."""
+
+    count: int
+    mean: Optional[Fraction]
+    minimum: Optional[Fraction]
+    median: Optional[Fraction]
+    p90: Optional[Fraction]
+    p99: Optional[Fraction]
+    maximum: Optional[Fraction]
+
+    def row(self) -> str:
+        if self.count == 0:
+            return "no delivered packets"
+        return (
+            f"n={self.count} mean={float(self.mean):.2f} "
+            f"min={float(self.minimum):.2f} p50={float(self.median):.2f} "
+            f"p90={float(self.p90):.2f} p99={float(self.p99):.2f} "
+            f"max={float(self.maximum):.2f}"
+        )
+
+
+def percentile(sorted_values: Sequence[Fraction], q: Fraction) -> Fraction:
+    """Exact nearest-rank percentile over a sorted sequence.
+
+    ``q`` in [0, 1]; nearest-rank (ceil) convention, so ``q = 1`` is the
+    maximum and ``q = 0`` the minimum.
+    """
+    if not sorted_values:
+        raise ConfigurationError("percentile of an empty sequence")
+    if not 0 <= q <= 1:
+        raise ConfigurationError(f"quantile must be within [0, 1], got {q}")
+    if q == 0:
+        return sorted_values[0]
+    rank = -((-q * len(sorted_values)).__floor__())  # ceil(q * n)
+    index = max(int(rank) - 1, 0)
+    return sorted_values[index]
+
+
+def summarize_latencies(packets: Iterable[Packet]) -> LatencySummary:
+    """Summarize the latency distribution of the delivered packets."""
+    latencies: List[Fraction] = sorted(
+        p.latency for p in packets if p.latency is not None
+    )
+    if not latencies:
+        return LatencySummary(
+            count=0, mean=None, minimum=None, median=None,
+            p90=None, p99=None, maximum=None,
+        )
+    total = sum(latencies, Fraction(0))
+    return LatencySummary(
+        count=len(latencies),
+        mean=total / len(latencies),
+        minimum=latencies[0],
+        median=percentile(latencies, Fraction(1, 2)),
+        p90=percentile(latencies, Fraction(9, 10)),
+        p99=percentile(latencies, Fraction(99, 100)),
+        maximum=latencies[-1],
+    )
+
+
+def latency_by_station(packets: Iterable[Packet]) -> Dict[int, LatencySummary]:
+    """Per-station latency summaries (fairness diagnostics)."""
+    buckets: Dict[int, List[Packet]] = {}
+    for packet in packets:
+        if packet.latency is not None:
+            buckets.setdefault(packet.station_id, []).append(packet)
+    return {sid: summarize_latencies(ps) for sid, ps in sorted(buckets.items())}

@@ -1,0 +1,142 @@
+"""Empirical Max Stable Rate (MSR) estimation.
+
+The paper's headline metric: the largest injection rate ``rho`` under
+which a protocol keeps queues bounded.  Theorems 3/6 put AO-/CA-ARRoW's
+MSR at "every ``rho < 1``"; Theorem 5 excludes ``rho = 1``; slotted
+Aloha's classical MSR is far below 1.  This module measures the
+empirical counterpart by bisection: run the protocol at a candidate
+rate for a fixed horizon, apply the windowed-maxima boundedness test,
+and narrow the bracket.
+
+Empirical MSR on a finite horizon is necessarily approximate — near
+the true MSR queues drain ever more slowly and a finite test window
+misclassifies.  The benches therefore report the bisection verdicts at
+each probed rate alongside the final estimate, and the comparisons in
+EXPERIMENTS.md are at the resolution the paper's table uses (stable at
+0.9 vs unstable at 1.0, Aloha far below both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Dict, List, Tuple
+
+from ..arrivals.patterns import UniformRate
+from ..core.simulator import Simulator
+from ..core.station import StationAlgorithm
+from ..core.timebase import TimeLike, as_time
+from ..core.trace import Trace
+from ..timing.adversary import SlotAdversary
+from .stability import assess_stability
+
+#: Builds a fresh algorithm set for one trial (fresh state per rate).
+AlgorithmsFactory = Callable[[], Dict[int, StationAlgorithm]]
+#: Builds a fresh slot adversary for one trial.
+AdversaryFactory = Callable[[], SlotAdversary]
+
+
+@dataclass(frozen=True, slots=True)
+class RateTrial:
+    """One probed rate and its stability verdict."""
+
+    rho: Fraction
+    stable: bool
+    peak_backlog: int
+    final_backlog: int
+
+
+@dataclass(frozen=True, slots=True)
+class MSREstimate:
+    """Bisection outcome: the empirical MSR bracket and its history."""
+
+    lower: Fraction  # largest rate measured stable
+    upper: Fraction  # smallest rate measured unstable (or the cap)
+    trials: List[RateTrial]
+
+    @property
+    def estimate(self) -> Fraction:
+        return (self.lower + self.upper) / 2
+
+
+def run_at_rate(
+    algorithms: Dict[int, StationAlgorithm],
+    adversary: SlotAdversary,
+    max_slot_length: TimeLike,
+    rho: TimeLike,
+    horizon: TimeLike,
+    assumed_cost: TimeLike = 1,
+) -> RateTrial:
+    """One stability trial at rate ``rho`` (round-robin targets)."""
+    rate = as_time(rho)
+    end = as_time(horizon)
+    station_ids = sorted(algorithms)
+    source = UniformRate(
+        rho=rate, targets=station_ids, assumed_cost=assumed_cost
+    )
+    trace = Trace(record_slots=False, backlog_stride=16)
+    sim = Simulator(
+        algorithms,
+        adversary,
+        max_slot_length=max_slot_length,
+        arrival_source=source,
+        trace=trace,
+    )
+    sim.run(until_time=end)
+    samples = trace.backlog_series()
+    samples.append((sim.now, sim.total_backlog))
+    verdict = assess_stability(
+        samples, end, tolerance=max(2, trace.max_backlog // 10)
+    )
+    return RateTrial(
+        rho=rate,
+        stable=verdict.stable,
+        peak_backlog=verdict.peak,
+        final_backlog=sim.total_backlog,
+    )
+
+
+def estimate_msr(
+    algorithms_factory: AlgorithmsFactory,
+    adversary_factory: AdversaryFactory,
+    max_slot_length: TimeLike,
+    horizon: TimeLike,
+    assumed_cost: TimeLike = 1,
+    low: TimeLike = "1/20",
+    high: TimeLike = "21/20",
+    iterations: int = 7,
+) -> MSREstimate:
+    """Bisect the empirical MSR of a protocol family.
+
+    ``low`` must test stable and ``high`` unstable for a meaningful
+    bracket; if ``high`` tests stable the returned upper bound equals
+    the cap (the protocol's MSR exceeds the probed range — the
+    AO-/CA-ARRoW expectation is a bracket hugging 1 from below).
+    """
+    lower = as_time(low)
+    upper = as_time(high)
+    trials: List[RateTrial] = []
+
+    def probe(rho: Fraction) -> bool:
+        trial = run_at_rate(
+            algorithms_factory(),
+            adversary_factory(),
+            max_slot_length,
+            rho,
+            horizon,
+            assumed_cost=assumed_cost,
+        )
+        trials.append(trial)
+        return trial.stable
+
+    if not probe(lower):
+        return MSREstimate(lower=Fraction(0), upper=lower, trials=trials)
+    if probe(upper):
+        return MSREstimate(lower=upper, upper=upper, trials=trials)
+    for _ in range(iterations):
+        mid = (lower + upper) / 2
+        if probe(mid):
+            lower = mid
+        else:
+            upper = mid
+    return MSREstimate(lower=lower, upper=upper, trials=trials)

@@ -1,0 +1,74 @@
+"""Multi-seed statistical sweeps.
+
+Randomized components (random slot schedules, Aloha, randomized SST)
+need aggregation over seeds before their numbers mean anything.  A
+sweep runs one measurement function across a seed range and reports
+exact mean plus min/median/max — deliberately simple statistics that
+stay exact (no float accumulation) and honest about tail behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, List, Sequence, Union
+
+from ..core.errors import ConfigurationError
+
+Number = Union[int, Fraction]
+
+
+@dataclass(frozen=True, slots=True)
+class SweepStats:
+    """Aggregate of one metric over a seed sweep."""
+
+    samples: List[Fraction]
+
+    def __post_init__(self) -> None:
+        if not self.samples:
+            raise ConfigurationError("a sweep needs at least one sample")
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> Fraction:
+        return sum(self.samples, Fraction(0)) / len(self.samples)
+
+    @property
+    def minimum(self) -> Fraction:
+        return min(self.samples)
+
+    @property
+    def maximum(self) -> Fraction:
+        return max(self.samples)
+
+    @property
+    def median(self) -> Fraction:
+        ordered = sorted(self.samples)
+        middle = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[middle]
+        return (ordered[middle - 1] + ordered[middle]) / 2
+
+    @property
+    def spread(self) -> Fraction:
+        """Max minus min — the honest tail-width indicator."""
+        return self.maximum - self.minimum
+
+    def row(self) -> str:
+        return (
+            f"n={self.count} mean={float(self.mean):.2f} "
+            f"min={float(self.minimum):.2f} med={float(self.median):.2f} "
+            f"max={float(self.maximum):.2f}"
+        )
+
+
+def sweep_seeds(
+    measure: Callable[[int], Number], seeds: Sequence[int]
+) -> SweepStats:
+    """Run ``measure(seed)`` over ``seeds``; aggregate the results."""
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    return SweepStats(samples=[Fraction(measure(seed)) for seed in seeds])

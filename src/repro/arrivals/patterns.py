@@ -1,0 +1,248 @@
+"""Admissible-by-construction workload generators.
+
+Each generator targets a nominal ``(rho, b)`` leaky bucket **in cost
+units** under a caller-chosen per-packet cost assumption:
+
+* ``assumed_cost = R`` (the default used by the stability benches) is
+  conservative — whatever slot lengths the timing adversary picks, the
+  realized pattern is admissible, since realized cost never exceeds R.
+* ``assumed_cost = 1`` is the optimistic reading, useful when the
+  timing adversary is synchronous.
+
+All generators are deterministic (given their seed, where applicable)
+and produce exact-rational arrival times, so executions replay
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..core.errors import ConfigurationError
+from ..core.timebase import Time, TimeLike, as_time
+from .source import Arrival, ArrivalSource
+
+
+class _TargetPolicy:
+    """Chooses which station receives the next packet."""
+
+    def next_target(self) -> int:
+        raise NotImplementedError
+
+
+class RoundRobinTargets(_TargetPolicy):
+    """Cycle deterministically over the given stations."""
+
+    def __init__(self, station_ids: Sequence[int]) -> None:
+        if not station_ids:
+            raise ConfigurationError("need at least one target station")
+        self._ids = list(station_ids)
+        self._cursor = 0
+
+    def next_target(self) -> int:
+        sid = self._ids[self._cursor % len(self._ids)]
+        self._cursor += 1
+        return sid
+
+
+class RandomTargets(_TargetPolicy):
+    """Pick targets uniformly at random (seeded, reproducible)."""
+
+    def __init__(self, station_ids: Sequence[int], seed: int) -> None:
+        if not station_ids:
+            raise ConfigurationError("need at least one target station")
+        self._ids = list(station_ids)
+        self._rng = random.Random(seed)
+
+    def next_target(self) -> int:
+        return self._rng.choice(self._ids)
+
+
+class SingleTarget(_TargetPolicy):
+    """Every packet goes to one station (maximal per-queue pressure)."""
+
+    def __init__(self, station_id: int) -> None:
+        self._id = station_id
+
+    def next_target(self) -> int:
+        return self._id
+
+
+class UniformRate(ArrivalSource):
+    """Evenly spaced injections at cost-rate ``rho``.
+
+    Packet ``k`` arrives at ``start + k * assumed_cost / rho``; charging
+    each packet ``assumed_cost`` makes the pattern ``(rho, b)``-
+    admissible for any ``b >= assumed_cost`` (a single packet's cost
+    lands atomically at its arrival instant).
+
+    Args:
+        rho: Target injection rate in cost units per time unit, > 0.
+        targets: Target policy (or a list of ids → round-robin).
+        assumed_cost: Per-packet cost budgeted at injection.
+        start: Time of the first arrival.
+        limit: Optional cap on the number of packets ever produced.
+    """
+
+    def __init__(
+        self,
+        rho: TimeLike,
+        targets,
+        assumed_cost: TimeLike,
+        start: TimeLike = 0,
+        limit: Optional[int] = None,
+    ) -> None:
+        self.rho = as_time(rho)
+        if self.rho <= 0:
+            raise ConfigurationError(f"rho must be > 0, got {self.rho}")
+        self.assumed_cost = as_time(assumed_cost)
+        if self.assumed_cost <= 0:
+            raise ConfigurationError("assumed_cost must be > 0")
+        self.start = as_time(start)
+        self.limit = limit
+        self._policy = (
+            targets if isinstance(targets, _TargetPolicy) else RoundRobinTargets(targets)
+        )
+        self._emitted = 0
+        self._spacing = self.assumed_cost / self.rho
+
+    def arrivals_until(self, sim, upto: Time) -> Iterator[Arrival]:
+        while self.limit is None or self._emitted < self.limit:
+            t = self.start + self._emitted * self._spacing
+            if t > upto:
+                return
+            self._emitted += 1
+            yield (t, self._policy.next_target())
+
+
+class BurstyRate(ArrivalSource):
+    """Periodic bursts: ``burst_size`` packets at once, average rate ``rho``.
+
+    Burst ``j`` (of ``burst_size`` simultaneous packets) arrives at
+    ``start + j * burst_size * assumed_cost / rho``.  The pattern is
+    ``(rho, b)``-admissible for ``b >= burst_size * assumed_cost`` and
+    exercises exactly the burstiness headroom of Definition 1.
+    """
+
+    def __init__(
+        self,
+        rho: TimeLike,
+        burst_size: int,
+        targets,
+        assumed_cost: TimeLike,
+        start: TimeLike = 0,
+        limit: Optional[int] = None,
+    ) -> None:
+        if burst_size < 1:
+            raise ConfigurationError("burst_size must be >= 1")
+        self.rho = as_time(rho)
+        if self.rho <= 0:
+            raise ConfigurationError(f"rho must be > 0, got {self.rho}")
+        self.assumed_cost = as_time(assumed_cost)
+        self.burst_size = burst_size
+        self.start = as_time(start)
+        self.limit = limit
+        self._policy = (
+            targets if isinstance(targets, _TargetPolicy) else RoundRobinTargets(targets)
+        )
+        self._emitted = 0
+        self._period = burst_size * self.assumed_cost / self.rho
+
+    def arrivals_until(self, sim, upto: Time) -> Iterator[Arrival]:
+        while self.limit is None or self._emitted < self.limit:
+            burst_index, position = divmod(self._emitted, self.burst_size)
+            t = self.start + burst_index * self._period
+            if t > upto:
+                return
+            self._emitted += 1
+            yield (t, self._policy.next_target())
+
+
+class PoissonLike(ArrivalSource):
+    """Randomized inter-arrival gaps with mean ``assumed_cost / rho``.
+
+    Gaps are drawn from a discretized exponential-ish distribution over
+    exact rationals (denominator-bounded), then *clamped* so the
+    cumulative pattern never exceeds the ``(rho, b)`` envelope — i.e.,
+    randomness is shaped to stay admissible.  Deterministic per seed.
+    """
+
+    def __init__(
+        self,
+        rho: TimeLike,
+        burstiness: TimeLike,
+        targets,
+        assumed_cost: TimeLike,
+        seed: int,
+        start: TimeLike = 0,
+        limit: Optional[int] = None,
+        denominator: int = 16,
+    ) -> None:
+        self.rho = as_time(rho)
+        if self.rho <= 0:
+            raise ConfigurationError(f"rho must be > 0, got {self.rho}")
+        self.assumed_cost = as_time(assumed_cost)
+        self.burstiness = as_time(burstiness)
+        if self.burstiness < self.assumed_cost:
+            raise ConfigurationError(
+                "burstiness must cover at least one packet's assumed cost"
+            )
+        self.start = as_time(start)
+        self.limit = limit
+        self._denominator = denominator
+        self._policy = (
+            targets if isinstance(targets, _TargetPolicy) else RoundRobinTargets(targets)
+        )
+        self._rng = random.Random(seed)
+        self._emitted = 0
+        self._next_time = self.start
+        # Token bucket: tokens accrue at rho, capped at the burstiness,
+        # so the (rho, b) constraint holds over *every* window, not just
+        # windows anchored at the start.
+        self._tokens = self.burstiness
+        self._last_refill = self.start
+
+    def _draw_gap(self) -> Fraction:
+        """A random rational gap with mean ~ assumed_cost / rho."""
+        mean = self.assumed_cost / self.rho
+        u = self._rng.random()
+        # Piecewise approximation of an exponential: heavier weight on
+        # short gaps, occasional long ones; quantized to exact rationals.
+        if u < 0.5:
+            scale = Fraction(1, 2)
+        elif u < 0.8:
+            scale = Fraction(1)
+        elif u < 0.95:
+            scale = Fraction(2)
+        else:
+            scale = Fraction(4)
+        jitter = Fraction(self._rng.randint(0, self._denominator), self._denominator)
+        return mean * scale * (Fraction(1, 2) + jitter)
+
+    def _refill(self, now: Fraction) -> None:
+        self._tokens = min(
+            self.burstiness, self._tokens + self.rho * (now - self._last_refill)
+        )
+        self._last_refill = now
+
+    def arrivals_until(self, sim, upto: Time) -> Iterator[Arrival]:
+        while self.limit is None or self._emitted < self.limit:
+            t = self._next_time
+            if t > upto:
+                return
+            self._refill(t)
+            if self._tokens < self.assumed_cost:
+                # Too early — push this arrival to the instant the
+                # bucket has refilled enough to pay for it.
+                earliest = t + (self.assumed_cost - self._tokens) / self.rho
+                if earliest > upto:
+                    self._next_time = earliest
+                    return
+                t = earliest
+                self._refill(t)
+            self._tokens -= self.assumed_cost
+            self._emitted += 1
+            self._next_time = t + self._draw_gap()
+            yield (t, self._policy.next_target())

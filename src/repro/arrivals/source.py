@@ -1,0 +1,99 @@
+"""Arrival sources: how the adversary injects packets over time.
+
+An arrival source is pulled by the simulator: ``arrivals_until(sim,
+upto)`` must yield every not-yet-reported arrival with time ``<= upto``
+as ``(time, station_id)`` pairs in non-decreasing time order.  Sources
+may be *adaptive* — they see the live simulator, matching the paper's
+adversary, which chooses injection times and targets online (the
+Theorem 5 construction stops feeding whichever station currently holds
+the channel).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from ..core.errors import ConfigurationError
+from ..core.timebase import Time, TimeLike, as_time
+
+#: One injection: (arrival time, target station id).
+Arrival = Tuple[Time, int]
+
+
+class ArrivalSource:
+    """Base class for packet injection adversaries."""
+
+    def arrivals_until(self, sim, upto: Time) -> Iterable[Arrival]:
+        """Yield all pending arrivals with time <= ``upto``, in order."""
+        raise NotImplementedError
+
+
+class NoArrivals(ArrivalSource):
+    """The empty workload (used by pure SST / leader-election runs)."""
+
+    def arrivals_until(self, sim, upto: Time) -> Iterable[Arrival]:
+        return ()
+
+
+class StaticSchedule(ArrivalSource):
+    """A fully precomputed injection pattern.
+
+    The workhorse for hand-constructed adversarial patterns in tests
+    and for the Theorem 4 scenario where injection times are solved for
+    analytically before the run.
+    """
+
+    def __init__(self, arrivals: Sequence[Tuple[TimeLike, int]]) -> None:
+        exact: List[Arrival] = [(as_time(t), sid) for t, sid in arrivals]
+        for (t1, _), (t2, _) in zip(exact, exact[1:]):
+            if t2 < t1:
+                raise ConfigurationError(
+                    "StaticSchedule arrivals must be sorted by time"
+                )
+        self._arrivals = exact
+        self._cursor = 0
+
+    def arrivals_until(self, sim, upto: Time) -> Iterator[Arrival]:
+        while self._cursor < len(self._arrivals):
+            t, sid = self._arrivals[self._cursor]
+            if t > upto:
+                return
+            self._cursor += 1
+            yield (t, sid)
+
+    @property
+    def remaining(self) -> int:
+        """Arrivals not yet handed to the simulator."""
+        return len(self._arrivals) - self._cursor
+
+
+class ConcatSource(ArrivalSource):
+    """Merge several sources into one (each must itself be ordered).
+
+    Arrivals from different sub-sources are interleaved in time order;
+    sub-sources are polled lazily so adaptive components keep working.
+    """
+
+    def __init__(self, sources: Sequence[ArrivalSource]) -> None:
+        self._sources = list(sources)
+
+    def arrivals_until(self, sim, upto: Time) -> Iterator[Arrival]:
+        batches: List[List[Arrival]] = [
+            list(src.arrivals_until(sim, upto)) for src in self._sources
+        ]
+        merged = sorted(
+            (arrival for batch in batches for arrival in batch),
+            key=lambda pair: pair[0],
+        )
+        return iter(merged)
+
+
+class CallbackSource(ArrivalSource):
+    """Adapt a plain function into a source (for quick experiment glue)."""
+
+    def __init__(self, fn) -> None:
+        self._fn = fn
+
+    def arrivals_until(self, sim, upto: Time) -> Iterable[Arrival]:
+        return self._fn(sim, upto)

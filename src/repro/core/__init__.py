@@ -1,0 +1,60 @@
+"""Core substrate: exact time, channel model, stations, simulator, traces."""
+
+from .channel import Channel, ChannelStats, Transmission
+from .errors import (
+    AdmissibilityError,
+    AsyncMacError,
+    ConfigurationError,
+    ProtocolError,
+    SimulationError,
+)
+from .feedback import Feedback
+from .packet import Packet, PacketQueue
+from .simulator import Simulator, StationRuntime
+from .station import (
+    LISTEN,
+    TRANSMIT_CONTROL,
+    TRANSMIT_PACKET,
+    Action,
+    ActionKind,
+    AlwaysListen,
+    AlwaysTransmit,
+    SlotContext,
+    StationAlgorithm,
+)
+from .timebase import Interval, Time, TimeLike, as_time, check_slot_length, make_interval
+from .trace import BacklogSample, SlotRecord, Trace
+
+__all__ = [
+    "AdmissibilityError",
+    "Action",
+    "ActionKind",
+    "AlwaysListen",
+    "AlwaysTransmit",
+    "AsyncMacError",
+    "BacklogSample",
+    "Channel",
+    "ChannelStats",
+    "ConfigurationError",
+    "Feedback",
+    "Interval",
+    "LISTEN",
+    "Packet",
+    "PacketQueue",
+    "ProtocolError",
+    "SimulationError",
+    "Simulator",
+    "SlotContext",
+    "SlotRecord",
+    "StationAlgorithm",
+    "StationRuntime",
+    "Time",
+    "TimeLike",
+    "TRANSMIT_CONTROL",
+    "TRANSMIT_PACKET",
+    "Trace",
+    "Transmission",
+    "as_time",
+    "check_slot_length",
+    "make_interval",
+]

@@ -1,0 +1,236 @@
+"""Continuous-time shared channel with exact overlap resolution.
+
+The channel is the paper's "base station" (Section II): it receives a
+transmission successfully **iff no other transmission overlaps it in
+real time**, and produces per-slot feedback for each station:
+
+* ``ACK``     — a successful transmission ended inside the slot,
+* ``SILENCE`` — nothing overlapped the slot,
+* ``BUSY``    — activity overlapped the slot but no success ended in it.
+
+Correctness of the feedback computation relies on event causality: the
+simulator records every transmission at the moment its slot *starts*,
+and only asks for feedback of slots ending at time ``t`` once every slot
+starting before ``t`` has been recorded.  A transmission that ended at
+``e <= t`` can only be overlapped by transmissions starting before
+``e``, so its success is fully determined at time ``t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import List, Optional
+
+from .errors import SimulationError
+from .packet import Packet
+from .timebase import Interval, Time
+
+
+@dataclass(slots=True)
+class Transmission:
+    """One station's transmission occupying one of its slots.
+
+    ``overlapped`` is maintained incrementally as later transmissions
+    are recorded; a transmission is *successful* iff it is never
+    overlapped.  Because any overlapping transmission must start before
+    this one ends, the flag is final as soon as simulation time reaches
+    ``interval.end``.
+    """
+
+    station_id: int
+    interval: Interval
+    packet: Optional[Packet]
+    overlapped: bool = False
+
+    @property
+    def successful(self) -> bool:
+        """True when no other transmission overlapped this one."""
+        return not self.overlapped
+
+    @property
+    def is_control(self) -> bool:
+        """True for control messages / empty signals (no packet aboard)."""
+        return self.packet is None
+
+
+@dataclass(slots=True)
+class ChannelStats:
+    """Aggregate channel counters, exact even after old records are pruned.
+
+    ``collisions`` counts *transmissions that were overlapped* (each
+    such transmission counted once), so a pairwise collision adds 2 and
+    a k-way pile-up adds k.  A collision-free execution has
+    ``collisions == 0`` — the invariant CA-ARRoW must satisfy.
+    """
+
+    transmissions: int = 0
+    successes: int = 0
+    collisions: int = 0
+    control_transmissions: int = 0
+    busy_time: Fraction = field(default_factory=lambda: Fraction(0))
+    #: Total duration of *successful* transmissions (finalized records).
+    #: ``horizon - success_time`` is the paper's wasted time (Def. 2).
+    success_time: Fraction = field(default_factory=lambda: Fraction(0))
+
+
+class Channel:
+    """The shared medium: transmission registry + feedback oracle.
+
+    The recent-transmission list is kept sorted by start time.
+    :meth:`prune_before` lets the simulator discard transmissions that
+    can no longer influence any future slot, keeping long stability runs
+    bounded in memory while the :class:`ChannelStats` counters stay
+    exact (successes are folded into the stats as records are pruned).
+    """
+
+    def __init__(self, max_transmission_duration: Optional[Fraction] = None) -> None:
+        self._transmissions: List[Transmission] = []
+        self._pruned_success_count = 0
+        self.stats = ChannelStats()
+        #: End time of the first successful transmission observed so
+        #: far.  For runs that prune in time order this is exact.
+        self.first_success_end: Optional[Time] = None
+        #: When set (the simulator passes R), scans over the start-
+        #: sorted record list stop early: a transmission starting more
+        #: than this long before an interval cannot reach into it.
+        self._max_duration = max_transmission_duration
+
+    def _relevant_reversed(self, threshold_start: Fraction):
+        """Records that might intersect anything at/after ``threshold_start``.
+
+        Iterates newest-first and stops once starts fall far enough in
+        the past that the duration bound rules out any overlap.
+        """
+        if self._max_duration is None:
+            yield from reversed(self._transmissions)
+            return
+        horizon = threshold_start - self._max_duration
+        for record in reversed(self._transmissions):
+            if record.interval.start <= horizon:
+                return
+            yield record
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def begin_transmission(
+        self,
+        station_id: int,
+        interval: Interval,
+        packet: Optional[Packet],
+    ) -> Transmission:
+        """Record a transmission occupying ``interval``.
+
+        Must be called in non-decreasing order of ``interval.start``;
+        the simulator guarantees this because transmissions begin at
+        slot starts and events are processed in time order.
+        """
+        if (
+            self._transmissions
+            and interval.start < self._transmissions[-1].interval.start
+        ):
+            raise SimulationError(
+                "transmissions must be recorded in start-time order: "
+                f"{interval.start} after {self._transmissions[-1].interval.start}"
+            )
+        record = Transmission(station_id=station_id, interval=interval, packet=packet)
+        for other in self._relevant_reversed(interval.start):
+            if other.interval.overlaps(interval):
+                if not other.overlapped:
+                    other.overlapped = True
+                    self.stats.collisions += 1
+                if not record.overlapped:
+                    record.overlapped = True
+                    self.stats.collisions += 1
+        self._transmissions.append(record)
+        self.stats.transmissions += 1
+        self.stats.busy_time += interval.duration
+        if packet is None:
+            self.stats.control_transmissions += 1
+        return record
+
+    # ------------------------------------------------------------------
+    # Feedback
+    # ------------------------------------------------------------------
+
+    def feedback_has_activity(self, slot: Interval) -> bool:
+        """True when any transmission overlaps ``slot``."""
+        return any(
+            t.interval.overlaps(slot) for t in self._relevant_reversed(slot.start)
+        )
+
+    def successful_ending_within(self, slot: Interval) -> Optional[Transmission]:
+        """A successful transmission ending in ``(slot.start, slot.end]``, if any.
+
+        Multiple back-to-back successes can end inside one long
+        listening slot; the paper's feedback is still a single
+        acknowledgment.  We return the latest-ending one; callers that
+        need every success use :meth:`successes_ending_within`.
+        """
+        best: Optional[Transmission] = None
+        for t in self._relevant_reversed(slot.start):
+            if t.successful and t.interval.ends_within(slot):
+                if best is None or t.interval.end > best.interval.end:
+                    best = t
+        return best
+
+    def successes_ending_within(self, slot: Interval) -> List[Transmission]:
+        """All successful transmissions ending in ``(slot.start, slot.end]``."""
+        return [
+            t
+            for t in self._transmissions
+            if t.successful and t.interval.ends_within(slot)
+        ]
+
+    def count_successes_up_to(self, moment: Time) -> int:
+        """Number of successful transmissions ended by ``moment`` (inclusive)."""
+        live = sum(
+            1
+            for t in self._transmissions
+            if t.successful and t.interval.end <= moment
+        )
+        return self._pruned_success_count + live
+
+    # ------------------------------------------------------------------
+    # Memory management
+    # ------------------------------------------------------------------
+
+    def prune_before(self, low_water_mark: Time) -> None:
+        """Drop transmission records that ended at or before the mark.
+
+        ``low_water_mark`` must not exceed the earliest start of any
+        still-open slot (a slot's feedback looks only at transmissions
+        ending strictly after its own start).  Success counts for pruned
+        records are folded into :class:`ChannelStats`.
+        """
+        keep: List[Transmission] = []
+        for t in self._transmissions:
+            if t.interval.end <= low_water_mark:
+                if t.successful:
+                    self._pruned_success_count += 1
+                    self.stats.successes += 1
+                    self.stats.success_time += t.interval.duration
+                    if (
+                        self.first_success_end is None
+                        or t.interval.end < self.first_success_end
+                    ):
+                        self.first_success_end = t.interval.end
+            else:
+                keep.append(t)
+        self._transmissions = keep
+
+    def drain_all(self, end_of_time: Time) -> None:
+        """Finalize every record (simulation over); updates stats fully."""
+        self.prune_before(end_of_time + 1)
+
+    @property
+    def live_records(self) -> List[Transmission]:
+        """Transmission records not yet pruned (the recent history window)."""
+        return list(self._transmissions)
+
+    @property
+    def total_successes_finalized(self) -> int:
+        """Successes folded into stats so far (pruned records only)."""
+        return self._pruned_success_count

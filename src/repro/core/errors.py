@@ -1,0 +1,48 @@
+"""Exception hierarchy for the asyncmac reproduction.
+
+All library-raised exceptions derive from :class:`AsyncMacError` so callers
+can catch every library failure with a single ``except`` clause while still
+being able to distinguish model violations (bugs in a station algorithm)
+from configuration mistakes (bad adversary parameters).
+"""
+
+from __future__ import annotations
+
+
+class AsyncMacError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigurationError(AsyncMacError):
+    """A simulation, adversary or workload was built with invalid parameters.
+
+    Examples: a slot length outside ``[1, R]``, a negative injection rate,
+    or two stations sharing an ID.
+    """
+
+
+class ProtocolError(AsyncMacError):
+    """A station algorithm violated the channel model.
+
+    Raised, for instance, when an algorithm that is not allowed to send
+    control messages asks to transmit while its packet queue is empty, or
+    when an automaton returns an action from a terminated state.
+    """
+
+
+class SimulationError(AsyncMacError):
+    """The simulator reached an inconsistent internal state.
+
+    This always indicates a bug in the simulator itself (or memory
+    corruption of its event queue), never a property of the simulated
+    algorithms, and is therefore worth reporting upstream.
+    """
+
+
+class AdmissibilityError(AsyncMacError):
+    """A packet arrival pattern exceeded its leaky-bucket budget.
+
+    Raised by the admissibility checker when the total *cost* of packets
+    injected inside some time window ``[t1, t2)`` exceeds
+    ``rho * (t2 - t1) + b`` (Definition 1 of the paper).
+    """

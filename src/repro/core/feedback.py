@@ -1,0 +1,43 @@
+"""Channel feedback values delivered to a station at each slot end.
+
+The model (Section II of the paper) gives every station three-valued
+feedback at the end of each of **its own** slots:
+
+* :data:`Feedback.ACK` — a *successful* transmission ended inside the
+  slot.  Both the transmitter and every listener receive this.
+* :data:`Feedback.SILENCE` — no transmission (successful or not)
+  overlapped the slot at all.
+* :data:`Feedback.BUSY` — at least one transmission overlapped the slot
+  but no successful transmission ended in it.  The station cannot tell
+  whether the activity was a single transmission, a collision, or how
+  much of the slot it covered (footnote 7: this is *channel sensing*,
+  strictly weaker than collision detection).
+
+This is the **entire** information interface between the channel and an
+algorithm; station algorithms in this library receive nothing else.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Feedback(enum.Enum):
+    """Three-valued channel feedback (ack / silence / busy)."""
+
+    SILENCE = "silence"
+    BUSY = "busy"
+    ACK = "ack"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def is_activity(self) -> bool:
+        """True for BUSY or ACK — i.e., the channel was not silent.
+
+        Several automata in the paper branch only on "did I hear
+        anything" (e.g., AO-ARRoW's long-silence counter resets on any
+        activity), so this predicate is provided once here.
+        """
+        return self is not Feedback.SILENCE

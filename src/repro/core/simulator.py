@@ -1,0 +1,436 @@
+"""Event-driven simulator for the partially asynchronous MAC.
+
+The simulator owns the four moving parts of the model in Section II:
+
+* one :class:`~repro.core.station.StationAlgorithm` per station, seeing
+  only per-slot feedback and its own queue length;
+* the :class:`~repro.core.channel.Channel`, which resolves real-time
+  transmission overlap exactly;
+* a *slot adversary* deciding the length of every slot (within
+  ``[1, R]``) at the moment the slot begins, with full knowledge of the
+  global state (see :mod:`repro.timing.adversary`);
+* an *arrival source* injecting packets at adversary-chosen instants
+  (see :mod:`repro.arrivals`).
+
+Events are slot boundaries, processed in ``(time, station_id)`` order.
+All timestamps are exact rationals, so executions are bit-for-bit
+deterministic and reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .channel import Channel
+from .errors import ConfigurationError, ProtocolError, SimulationError
+from .feedback import Feedback
+from .packet import Packet, PacketQueue
+from .station import Action, SlotContext, StationAlgorithm
+from .timebase import Interval, Time, TimeLike, as_time, check_slot_length
+from .trace import SlotRecord, Trace
+
+#: How many events between channel prunes (amortizes the O(history) scan).
+_PRUNE_EVERY = 512
+
+
+@dataclass(slots=True)
+class StationRuntime:
+    """Mutable per-station bookkeeping owned by the simulator."""
+
+    station_id: int
+    algorithm: StationAlgorithm
+    queue: PacketQueue
+    slot_index: int = -1
+    slot_start: Time = Fraction(0)
+    slot_end: Time = Fraction(0)
+    action: Optional[Action] = None
+    aboard_packet: Optional[Packet] = None
+    slots_elapsed: int = 0
+
+    @property
+    def slot_interval(self) -> Interval:
+        return Interval(self.slot_start, self.slot_end)
+
+
+class Simulator:
+    """Deterministic discrete-event simulation of one execution.
+
+    Args:
+        algorithms: The station automata.  Either a sequence (stations
+            get ids ``1..n`` in order, matching the paper's ID space
+            ``[n]``) or a mapping from explicit ids to algorithms.
+        slot_adversary: Object with ``next_slot_length(sim, station_id,
+            slot_index) -> TimeLike``; every returned length is
+            validated against ``[1, R]``.
+        max_slot_length: The model bound ``R`` (known to algorithms —
+            they were constructed with it; the simulator only enforces
+            it against the adversary).
+        arrival_source: Optional packet injector; ``None`` means no
+            arrivals (the SST setting, where algorithms that transmit
+            packets should be given initial packets via
+            ``initial_packets``).
+        initial_packets: Number of packets pre-loaded into every queue
+            at time 0 (before the first action is chosen).
+        trace: Optional :class:`~repro.core.trace.Trace` sink.
+        keep_channel_history: Disable channel pruning so every
+            transmission record survives the run — required by post-hoc
+            analyses that walk the success record (phase segmentation,
+            figure rendering).  Leave off for long stability runs.
+    """
+
+    def __init__(
+        self,
+        algorithms: Union[Sequence[StationAlgorithm], Mapping[int, StationAlgorithm]],
+        slot_adversary,
+        max_slot_length: TimeLike,
+        arrival_source=None,
+        initial_packets: int = 0,
+        trace: Optional[Trace] = None,
+        keep_channel_history: bool = False,
+    ) -> None:
+        self.keep_channel_history = keep_channel_history
+        if isinstance(algorithms, Mapping):
+            items = sorted(algorithms.items())
+        else:
+            items = list(enumerate(algorithms, start=1))
+        if not items:
+            raise ConfigurationError("at least one station is required")
+        ids = [sid for sid, _ in items]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError(f"duplicate station ids: {ids}")
+
+        self.max_slot_length = as_time(max_slot_length)
+        if self.max_slot_length < 1:
+            raise ConfigurationError(
+                f"R must be at least 1, got {self.max_slot_length}"
+            )
+        self.slot_adversary = slot_adversary
+        self.arrival_source = arrival_source
+        self.channel = Channel(max_transmission_duration=self.max_slot_length)
+        self.trace = trace if trace is not None else Trace()
+
+        self.stations: Dict[int, StationRuntime] = {
+            sid: StationRuntime(
+                station_id=sid, algorithm=algo, queue=PacketQueue(station_id=sid)
+            )
+            for sid, algo in items
+        }
+        self.now: Time = Fraction(0)
+        self.events_processed = 0
+        self._event_heap: List[Tuple[Time, int]] = []
+        self._pending_arrivals: Dict[int, List[Packet]] = {sid: [] for sid in ids}
+        self._next_packet_id = 0
+        self._total_backlog = 0
+        self._delivered_packets: List[Packet] = []
+        self._started = False
+
+        if initial_packets:
+            for sid in ids:
+                for _ in range(initial_packets):
+                    self._inject(sid, Fraction(0))
+
+    # ------------------------------------------------------------------
+    # Public accessors (also the adversaries' observation surface)
+    # ------------------------------------------------------------------
+
+    @property
+    def station_ids(self) -> List[int]:
+        """All station ids, ascending."""
+        return sorted(self.stations)
+
+    @property
+    def n_stations(self) -> int:
+        return len(self.stations)
+
+    def queue_size(self, station_id: int) -> int:
+        """Current queue length of one station (pending arrivals excluded)."""
+        return len(self.stations[station_id].queue)
+
+    @property
+    def total_backlog(self) -> int:
+        """Packets injected but not yet delivered, across all stations.
+
+        Includes packets that arrived but are not yet visible to their
+        station (arrival instants between slot boundaries) — exactly the
+        paper's "packets that were already injected but have not yet
+        been transmitted successfully".
+        """
+        return self._total_backlog
+
+    @property
+    def delivered_packets(self) -> List[Packet]:
+        """Every packet delivered so far, in delivery order."""
+        return self._delivered_packets
+
+    def algorithm(self, station_id: int) -> StationAlgorithm:
+        return self.stations[station_id].algorithm
+
+    # ------------------------------------------------------------------
+    # Packet injection
+    # ------------------------------------------------------------------
+
+    def _inject(self, station_id: int, at: Time) -> Packet:
+        """Create a packet and hold it pending until the next slot boundary."""
+        packet = Packet(
+            packet_id=self._next_packet_id, station_id=station_id, arrival_time=at
+        )
+        self._next_packet_id += 1
+        self._pending_arrivals[station_id].append(packet)
+        self._total_backlog += 1
+        self.trace.on_backlog_change(at, self._total_backlog)
+        return packet
+
+    def _pump_arrivals(self, upto: Time) -> None:
+        """Pull all arrivals with time <= ``upto`` from the source."""
+        if self.arrival_source is None:
+            return
+        for at, station_id in self.arrival_source.arrivals_until(self, upto):
+            exact = as_time(at)
+            if exact > upto:
+                raise SimulationError(
+                    f"arrival source produced a future arrival {exact} > {upto}"
+                )
+            if station_id not in self.stations:
+                raise SimulationError(f"arrival for unknown station {station_id}")
+            self._inject(station_id, exact)
+
+    def _deliver_pending(self, runtime: StationRuntime, upto: Time) -> None:
+        """Move arrivals with time <= ``upto`` into the station's queue.
+
+        Called at the station's own slot boundary: the paper makes
+        injected packets visible to the algorithm between consecutive
+        slots.
+        """
+        pending = self._pending_arrivals[runtime.station_id]
+        if not pending:
+            return
+        still_pending: List[Packet] = []
+        for packet in pending:
+            if packet.arrival_time <= upto:
+                runtime.queue.push(packet)
+            else:
+                still_pending.append(packet)
+        self._pending_arrivals[runtime.station_id] = still_pending
+
+    # ------------------------------------------------------------------
+    # Slot machinery
+    # ------------------------------------------------------------------
+
+    def _validate_action(self, runtime: StationRuntime, action: Action) -> None:
+        if not action.is_transmit:
+            return
+        if action.carries_packet:
+            if not runtime.queue:
+                raise ProtocolError(
+                    f"station {runtime.station_id}: "
+                    f"{type(runtime.algorithm).__name__} transmitted a packet "
+                    "from an empty queue"
+                )
+        elif not runtime.algorithm.uses_control_messages:
+            raise ProtocolError(
+                f"station {runtime.station_id}: "
+                f"{type(runtime.algorithm).__name__} sent a control message "
+                "but declares uses_control_messages=False"
+            )
+
+    def _begin_slot(self, runtime: StationRuntime, start: Time, action: Action) -> None:
+        """Open the next slot: fix its adversarial length, start any transmission."""
+        self._validate_action(runtime, action)
+        # Commit the station's intent before consulting the adversary:
+        # the model's online adversary observes actions when fixing slot
+        # lengths, so ``runtime.action`` must already describe the slot
+        # being opened (slot_start/end still describe the previous one).
+        runtime.action = action
+        length = check_slot_length(
+            self.slot_adversary.next_slot_length(
+                self, runtime.station_id, runtime.slot_index + 1
+            ),
+            self.max_slot_length,
+        )
+        self.open_slot(runtime, start, length)
+
+    def open_slot(self, runtime: StationRuntime, start: Time, length: Time) -> None:
+        """Fix the pending slot's length and schedule its end event.
+
+        Split out of :meth:`_begin_slot` so that look-ahead adversaries
+        (see :mod:`repro.timing.lookahead`) can clone a simulator that
+        is mid-decision and complete the probed slot with a candidate
+        length of their choosing.
+        """
+        runtime.slot_index += 1
+        runtime.slot_start = start
+        runtime.slot_end = start + length
+        runtime.aboard_packet = None
+        action = runtime.action
+        if action is not None and action.is_transmit:
+            aboard = runtime.queue.head() if action.carries_packet else None
+            runtime.aboard_packet = aboard
+            self.channel.begin_transmission(
+                runtime.station_id, runtime.slot_interval, aboard
+            )
+        heapq.heappush(self._event_heap, (runtime.slot_end, runtime.station_id))
+
+    def _start(self) -> None:
+        """Open every station's first slot at time 0."""
+        self._started = True
+        self._pump_arrivals(Fraction(0))
+        for sid in self.station_ids:
+            runtime = self.stations[sid]
+            self._deliver_pending(runtime, Fraction(0))
+            ctx = SlotContext(
+                feedback=None, queue_size=len(runtime.queue), slot_index=0
+            )
+            action = runtime.algorithm.first_action(ctx)
+            self._begin_slot(runtime, Fraction(0), action)
+
+    def _compute_feedback(self, runtime: StationRuntime) -> Feedback:
+        slot = runtime.slot_interval
+        success = self.channel.successful_ending_within(slot)
+        if success is not None:
+            return Feedback.ACK
+        if self.channel.feedback_has_activity(slot):
+            return Feedback.BUSY
+        return Feedback.SILENCE
+
+    def _process_event(self) -> None:
+        end_time, sid = heapq.heappop(self._event_heap)
+        runtime = self.stations[sid]
+        if end_time != runtime.slot_end:
+            raise SimulationError(
+                f"event heap desync for station {sid}: {end_time} != {runtime.slot_end}"
+            )
+        self.now = end_time
+        self._pump_arrivals(end_time)
+        feedback = self._compute_feedback(runtime)
+
+        delivered = False
+        if (
+            feedback is Feedback.ACK
+            and runtime.action is not None
+            and runtime.action.is_transmit
+            and runtime.aboard_packet is not None
+        ):
+            # A transmitting station's ACK can only certify its own
+            # transmission (any other success would have overlapped it).
+            packet = runtime.queue.pop_delivered()
+            if packet is not runtime.aboard_packet:
+                raise SimulationError(
+                    f"station {sid}: queue head changed under a transmission"
+                )
+            packet.mark_delivered(at=end_time, cost=runtime.slot_interval.duration)
+            self._delivered_packets.append(packet)
+            self._total_backlog -= 1
+            self.trace.on_backlog_change(end_time, self._total_backlog)
+            delivered = True
+
+        self._deliver_pending(runtime, end_time)
+        runtime.slots_elapsed += 1
+
+        record_action = runtime.action
+        record_interval = runtime.slot_interval
+        carried = runtime.aboard_packet
+
+        ctx = SlotContext(
+            feedback=feedback,
+            queue_size=len(runtime.queue),
+            slot_index=runtime.slot_index + 1,
+        )
+        next_action = runtime.algorithm.on_slot_end(ctx)
+        self._begin_slot(runtime, end_time, next_action)
+
+        if self.trace.record_slots and record_action is not None:
+            self.trace.on_slot(
+                SlotRecord(
+                    station_id=sid,
+                    slot_index=runtime.slot_index - 1,
+                    interval=record_interval,
+                    action=record_action,
+                    feedback=feedback,
+                    queue_size_after=len(runtime.queue),
+                    carried_packet_id=carried.packet_id if carried else None,
+                    delivered=delivered,
+                )
+            )
+
+        self.events_processed += 1
+        if (
+            not self.keep_channel_history
+            and self.events_processed % _PRUNE_EVERY == 0
+        ):
+            low_water = min(rt.slot_start for rt in self.stations.values())
+            self.channel.prune_before(low_water)
+
+    # ------------------------------------------------------------------
+    # Run loops
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        until_time: Optional[TimeLike] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[["Simulator"], bool]] = None,
+    ) -> "Simulator":
+        """Advance the simulation until a stopping condition triggers.
+
+        ``until_time`` stops once the next event would exceed the given
+        time (so all slots *ending* by that time are processed).
+        ``max_events`` bounds the number of slot-end events.
+        ``stop_when`` is evaluated after every processed event.
+        Returns ``self`` for chaining.
+        """
+        if until_time is None and max_events is None and stop_when is None:
+            raise ConfigurationError(
+                "run() needs at least one stopping condition"
+            )
+        limit_time = as_time(until_time) if until_time is not None else None
+        if not self._started:
+            self._start()
+            if stop_when is not None and stop_when(self):
+                return self
+        while True:
+            if max_events is not None and self.events_processed >= max_events:
+                return self
+            if not self._event_heap:
+                raise SimulationError("event heap empty — stations always reschedule")
+            if limit_time is not None and self._event_heap[0][0] > limit_time:
+                self.now = limit_time
+                return self
+            self._process_event()
+            if stop_when is not None and stop_when(self):
+                return self
+
+    def run_until_success(
+        self, max_events: int = 10_000_000
+    ) -> Optional[Time]:
+        """Run until the first successful transmission ends; return that time.
+
+        The workhorse of SST experiments.  Returns ``None`` if
+        ``max_events`` elapsed with no success (the SST algorithm failed
+        or the adversary prevented progress for that long).
+        """
+
+        def succeeded(sim: "Simulator") -> bool:
+            return sim.channel.count_successes_up_to(sim.now) > 0
+
+        self.run(max_events=max_events, stop_when=succeeded)
+        if not succeeded(self):
+            return None
+        ends = [
+            t.interval.end
+            for t in self.channel.live_records
+            if t.successful and t.interval.end <= self.now
+        ]
+        if ends:
+            return min(ends)
+        return self.channel.first_success_end
+
+    def slots_elapsed(self, station_id: int) -> int:
+        """Completed slots of one station (the paper's cost measure for SST)."""
+        return self.stations[station_id].slots_elapsed
+
+    def max_slots_elapsed(self) -> int:
+        """Maximum completed-slot count over stations (Theorem 1's measure)."""
+        return max(rt.slots_elapsed for rt in self.stations.values())

@@ -1,0 +1,133 @@
+"""Exact rational time for the partially asynchronous channel.
+
+The paper's constructions are *exact-arithmetic* constructions:
+
+* The mirror-execution lower bound (Theorem 2) aligns blocks of slots so
+  that their start times coincide **exactly** across stations.
+* The collision-forcing adversary (Theorem 4) chooses slot lengths
+  ``X, Y`` in ``[1, R]`` satisfying ``(S + alpha) * X == (S + beta) * Y``
+  so that two transmissions start at the **same** instant.
+
+Floating point cannot express either construction reliably, so every
+timestamp, duration and slot length in this library is a
+:class:`fractions.Fraction`.  This module centralises conversion helpers
+and the half-open :class:`Interval` type used for slots and transmissions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Union
+
+from .errors import ConfigurationError
+
+#: The time type used throughout the library.  Always an exact rational.
+Time = Fraction
+
+#: Values accepted wherever a time or duration is expected.
+TimeLike = Union[int, str, float, Fraction]
+
+ZERO = Fraction(0)
+ONE = Fraction(1)
+
+
+def as_time(value: TimeLike) -> Fraction:
+    """Convert ``value`` to an exact :class:`~fractions.Fraction` time.
+
+    Integers, strings (``"3/2"``) and Fractions convert exactly.  Floats
+    are converted through their ``repr`` so that ``as_time(1.5)`` yields
+    ``3/2`` (the decimal the caller wrote) rather than the binary float's
+    enormous exact expansion.
+
+    >>> as_time(2)
+    Fraction(2, 1)
+    >>> as_time("7/4")
+    Fraction(7, 4)
+    >>> as_time(1.5)
+    Fraction(3, 2)
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, bool):  # bool is an int subclass; reject it early
+        raise ConfigurationError(f"cannot interpret {value!r} as a time")
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, str):
+        return Fraction(value)
+    if isinstance(value, float):
+        return Fraction(repr(value))
+    raise ConfigurationError(f"cannot interpret {value!r} as a time")
+
+
+def check_slot_length(length: TimeLike, max_length: TimeLike) -> Fraction:
+    """Validate an adversary-chosen slot length against the model.
+
+    The model of Section II requires every slot length to lie in
+    ``[1, R]``.  Returns the exact length, or raises
+    :class:`ConfigurationError` if the adversary stepped outside its
+    power.
+    """
+    exact = as_time(length)
+    upper = as_time(max_length)
+    if not ONE <= exact <= upper:
+        raise ConfigurationError(
+            f"slot length {exact} outside the legal range [1, {upper}]"
+        )
+    return exact
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """A half-open time interval ``[start, end)``.
+
+    Slots and transmissions are both intervals.  The half-open convention
+    means two back-to-back slots share a boundary point without
+    overlapping, matching footnote 5 of the paper (the base station's
+    time is continuous and only genuine overlap destroys a transmission).
+    """
+
+    start: Fraction
+    end: Fraction
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ConfigurationError(
+                f"interval end {self.end} must exceed start {self.start}"
+            )
+
+    @property
+    def duration(self) -> Fraction:
+        """Length of the interval."""
+        return self.end - self.start
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when the two half-open intervals share interior points.
+
+        Touching endpoints (``self.end == other.start``) do **not**
+        overlap: a transmission ending exactly when another begins leaves
+        both successful.
+        """
+        return self.start < other.end and other.start < self.end
+
+    def contains_time(self, moment: Fraction) -> bool:
+        """True when ``moment`` lies in ``[start, end)``."""
+        return self.start <= moment < self.end
+
+    def ends_within(self, other: "Interval") -> bool:
+        """True when this interval's end lies in ``(other.start, other.end]``.
+
+        This is the paper's "a transmission *ended in* the slot"
+        predicate used to decide acknowledgment feedback: a transmission
+        finishing exactly at the slot boundary is credited to the slot
+        that just closed.
+        """
+        return other.start < self.end <= other.end
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.start}, {self.end})"
+
+
+def make_interval(start: TimeLike, end: TimeLike) -> Interval:
+    """Build an :class:`Interval` from any time-like endpoints."""
+    return Interval(as_time(start), as_time(end))

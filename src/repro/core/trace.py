@@ -1,0 +1,110 @@
+"""Execution traces: per-slot records and backlog trajectories.
+
+Two consumers drive the design:
+
+* The figure-reproduction benches (Fig. 2 schedule diagram, Fig. 4
+  phase timeline) need the full per-slot story of short executions —
+  who listened/transmitted when, with what feedback.
+* The stability benches (Theorems 3 and 6) run millions of slots and
+  only need the *backlog trajectory* (total queued packets over time)
+  plus its running maximum, so full slot records can be disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+from .feedback import Feedback
+from .station import Action
+from .timebase import Interval, Time
+
+
+@dataclass(frozen=True, slots=True)
+class SlotRecord:
+    """Everything that happened in one slot of one station.
+
+    ``queue_size_after`` is the queue length right after the slot's
+    feedback was processed (deliveries popped, arrivals appended) — the
+    value the algorithm saw when choosing its next action.
+    """
+
+    station_id: int
+    slot_index: int
+    interval: Interval
+    action: Action
+    feedback: Feedback
+    queue_size_after: int
+    carried_packet_id: Optional[int] = None
+    delivered: bool = False
+
+
+@dataclass(slots=True)
+class BacklogSample:
+    """Total system backlog (packets waiting in all queues) at a moment."""
+
+    time: Time
+    total_packets: int
+
+
+@dataclass(slots=True)
+class Trace:
+    """Recording sink attached to a :class:`~repro.core.simulator.Simulator`.
+
+    Attributes:
+        record_slots: Keep full :class:`SlotRecord` history.  Off by
+            default; long stability runs would otherwise hold millions
+            of records.
+        backlog_stride: Record a backlog sample every ``stride`` backlog
+            changes (1 = every change).  The running maximum is always
+            exact regardless of stride.
+    """
+
+    record_slots: bool = False
+    backlog_stride: int = 1
+    slots: List[SlotRecord] = field(default_factory=list)
+    backlog: List[BacklogSample] = field(default_factory=list)
+    max_backlog: int = 0
+    #: Exact running maximum of the backlog *cost upper bound*
+    #: (packets * R), comparable against the paper's L bounds.
+    _backlog_events: int = 0
+
+    def on_slot(self, record: SlotRecord) -> None:
+        """Store one slot record (if slot recording is enabled)."""
+        if self.record_slots:
+            self.slots.append(record)
+
+    def on_backlog_change(self, time: Time, total_packets: int) -> None:
+        """Track a change in the total number of queued packets."""
+        if total_packets > self.max_backlog:
+            self.max_backlog = total_packets
+        self._backlog_events += 1
+        if self.backlog_stride and self._backlog_events % self.backlog_stride == 0:
+            self.backlog.append(BacklogSample(time=time, total_packets=total_packets))
+
+    # ------------------------------------------------------------------
+    # Queries used by analyses and figure renderers
+    # ------------------------------------------------------------------
+
+    def slots_of(self, station_id: int) -> List[SlotRecord]:
+        """All recorded slots of one station, in order."""
+        return [s for s in self.slots if s.station_id == station_id]
+
+    def transmissions(self) -> List[SlotRecord]:
+        """All recorded transmit slots across stations."""
+        return [s for s in self.slots if s.action.is_transmit]
+
+    def acked_slots(self) -> List[SlotRecord]:
+        """All recorded slots whose feedback was an acknowledgment."""
+        return [s for s in self.slots if s.feedback is Feedback.ACK]
+
+    def horizon(self) -> Fraction:
+        """Latest recorded slot end (0 if nothing recorded)."""
+        if not self.slots:
+            return Fraction(0)
+        return max(s.interval.end for s in self.slots)
+
+    def backlog_series(self) -> List[Tuple[Fraction, int]]:
+        """The backlog trajectory as plain (time, packets) pairs."""
+        return [(sample.time, sample.total_packets) for sample in self.backlog]

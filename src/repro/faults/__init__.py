@@ -1,0 +1,12 @@
+"""Fault injection: fail-stop crashes and adversarial jamming."""
+
+from .crashes import Crashable, crash_fleet
+from .jamming import JamStats, PeriodicJammer, ReactiveJammer
+
+__all__ = [
+    "Crashable",
+    "JamStats",
+    "PeriodicJammer",
+    "ReactiveJammer",
+    "crash_fleet",
+]

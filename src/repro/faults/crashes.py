@@ -1,0 +1,90 @@
+"""Fail-stop crash injection (Section VII's "impact of failures").
+
+The paper leaves station failures as an open problem; this module
+supplies the model the extension experiments use.  A crash is
+*fail-stop in the radio sense*: from its crash point on, the station
+never transmits again — on a content-opaque channel a dead station is
+indistinguishable from a silent one, which is precisely what breaks
+turn-based protocols (the live successor waits forever for a holder
+that will never speak).
+
+Crashes are specified in the station's own slot count (the adversary
+may equivalently pick a real time; slot count keeps the wrapper a pure
+automaton and the run replayable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.errors import ConfigurationError
+from ..core.station import LISTEN, Action, SlotContext, StationAlgorithm
+
+
+class Crashable(StationAlgorithm):
+    """Wrap any station algorithm with a fail-stop crash point.
+
+    Until slot ``crash_at_slot`` the wrapper is transparent; from that
+    slot on, the station only listens (its radio is dead — we model the
+    receive side as dead too by discarding feedback, but since a dead
+    station emits nothing, feeding it or not is unobservable to
+    others).
+
+    ``crash_at_slot=None`` never crashes, so a mixed fleet can be built
+    uniformly.
+    """
+
+    def __init__(
+        self, inner: StationAlgorithm, crash_at_slot: Optional[int]
+    ) -> None:
+        if crash_at_slot is not None and crash_at_slot < 0:
+            raise ConfigurationError(
+                f"crash slot must be >= 0, got {crash_at_slot}"
+            )
+        self.inner = inner
+        self.crash_at_slot = crash_at_slot
+        self.crashed = False
+        # Capability flags mirror the inner algorithm so the simulator
+        # enforces the same rules pre-crash.
+        self.uses_control_messages = inner.uses_control_messages
+        self.collision_free_by_design = inner.collision_free_by_design
+
+    def _check_crash(self, ctx: SlotContext) -> bool:
+        if (
+            not self.crashed
+            and self.crash_at_slot is not None
+            and ctx.slot_index >= self.crash_at_slot
+        ):
+            self.crashed = True
+        return self.crashed
+
+    def first_action(self, ctx: SlotContext) -> Action:
+        if self._check_crash(ctx):
+            return LISTEN
+        return self.inner.first_action(ctx)
+
+    def on_slot_end(self, ctx: SlotContext) -> Action:
+        if self.crashed:
+            return LISTEN
+        if self._check_crash(ctx):
+            return LISTEN
+        return self.inner.on_slot_end(ctx)
+
+    @property
+    def is_done(self) -> bool:
+        return self.inner.is_done if not self.crashed else False
+
+
+def crash_fleet(
+    algorithms: Dict[int, StationAlgorithm],
+    crash_slots: Dict[int, int],
+) -> Dict[int, Crashable]:
+    """Wrap a whole fleet; stations absent from ``crash_slots`` never die."""
+    unknown = set(crash_slots) - set(algorithms)
+    if unknown:
+        raise ConfigurationError(f"crash schedule names unknown stations {unknown}")
+    return {
+        sid: Crashable(algo, crash_slots.get(sid))
+        for sid, algo in algorithms.items()
+    }

@@ -1,0 +1,106 @@
+"""Adversarial jamming stations (cf. the jamming MAC line of work [8]).
+
+A jammer is just another station whose transmissions carry no packets
+and whose goal is to destroy others' transmissions by overlapping
+them.  Two budgeted disciplines are provided:
+
+* :class:`PeriodicJammer` — jams ``burst`` consecutive slots out of
+  every ``period`` (an oblivious duty-cycle jammer);
+* :class:`ReactiveJammer` — listens, and jams for ``burst`` slots
+  whenever it hears activity (a carrier-sensing jammer: it cannot hit
+  the transmission it heard — that one already ended — but it tramples
+  the withholding/drain slots that follow, which is exactly what hurts
+  ARRoW-style protocols).
+
+Both respect a total jam budget so experiments can sweep "fraction of
+time jammed" against achieved throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ConfigurationError
+from ..core.station import (
+    LISTEN,
+    TRANSMIT_CONTROL,
+    Action,
+    SlotContext,
+    StationAlgorithm,
+)
+
+
+@dataclass(slots=True)
+class JamStats:
+    """Slots actually spent jamming."""
+
+    jam_slots: int = 0
+
+
+class PeriodicJammer(StationAlgorithm):
+    """Jam ``burst`` slots at the start of every ``period`` slots."""
+
+    uses_control_messages = True
+
+    def __init__(self, burst: int, period: int, budget: int = 10**9) -> None:
+        if burst < 1 or period < burst:
+            raise ConfigurationError(
+                f"need 1 <= burst <= period, got burst={burst} period={period}"
+            )
+        self.burst = burst
+        self.period = period
+        self.budget = budget
+        self.stats = JamStats()
+
+    def _decide(self, slot_index: int) -> Action:
+        if self.stats.jam_slots >= self.budget:
+            return LISTEN
+        if slot_index % self.period < self.burst:
+            self.stats.jam_slots += 1
+            return TRANSMIT_CONTROL
+        return LISTEN
+
+    def first_action(self, ctx: SlotContext) -> Action:
+        return self._decide(0)
+
+    def on_slot_end(self, ctx: SlotContext) -> Action:
+        return self._decide(ctx.slot_index)
+
+
+class ReactiveJammer(StationAlgorithm):
+    """Jam ``burst`` slots after each slot with observed activity."""
+
+    uses_control_messages = True
+
+    def __init__(self, burst: int, budget: int = 10**9, cooldown: int = 0) -> None:
+        if burst < 1:
+            raise ConfigurationError(f"burst must be >= 1, got {burst}")
+        if cooldown < 0:
+            raise ConfigurationError(f"cooldown must be >= 0, got {cooldown}")
+        self.burst = burst
+        self.budget = budget
+        self.cooldown = cooldown
+        self._jam_remaining = 0
+        self._cooldown_remaining = 0
+        self.stats = JamStats()
+
+    def first_action(self, ctx: SlotContext) -> Action:
+        return LISTEN
+
+    def on_slot_end(self, ctx: SlotContext) -> Action:
+        feedback = self._require_feedback(ctx)
+        if self._jam_remaining > 0 and self.stats.jam_slots < self.budget:
+            self._jam_remaining -= 1
+            self.stats.jam_slots += 1
+            if self._jam_remaining == 0:
+                self._cooldown_remaining = self.cooldown
+            return TRANSMIT_CONTROL
+        self._jam_remaining = 0
+        if self._cooldown_remaining > 0:
+            self._cooldown_remaining -= 1
+            return LISTEN
+        if feedback.is_activity and self.stats.jam_slots < self.budget:
+            self._jam_remaining = self.burst - 1
+            self.stats.jam_slots += 1
+            return TRANSMIT_CONTROL
+        return LISTEN

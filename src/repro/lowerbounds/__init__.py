@@ -1,0 +1,33 @@
+"""Executable lower-bound and impossibility constructions (Thms 2, 4, 5)."""
+
+from .collision_forcer import (
+    ProbeResult,
+    Theorem4Result,
+    force_collision_or_overflow,
+    probe_first_attempt,
+)
+from .mirror import (
+    MirrorPhase,
+    MirrorResult,
+    run_mirror_adversary,
+    verify_mirror_execution,
+)
+from .rate_one import (
+    RateOneReport,
+    UnitTransmitSlots,
+    measure_rate_one_instability,
+)
+
+__all__ = [
+    "MirrorPhase",
+    "MirrorResult",
+    "ProbeResult",
+    "RateOneReport",
+    "Theorem4Result",
+    "UnitTransmitSlots",
+    "force_collision_or_overflow",
+    "measure_rate_one_instability",
+    "probe_first_attempt",
+    "run_mirror_adversary",
+    "verify_mirror_execution",
+]

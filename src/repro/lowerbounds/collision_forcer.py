@@ -1,0 +1,235 @@
+"""The Theorem 4 adversary: collision-avoidance without control messages
+is impossible under bounded asynchrony.
+
+The paper's proof is constructive and this module executes it against
+any concrete algorithm.  Fix a queue limit ``L`` and rate ``rho > 0``;
+the adversary:
+
+1. picks two stations ``s1``, ``s2`` and a start slot
+   ``S > (2L - 1) / (rho (R - 1))``;
+2. **probes** each station in isolation: feed it silence-only feedback,
+   inject its first packet at the end of its slot ``S`` and further
+   packets at rate ``rho / 2`` (by slot count), and record ``alpha``
+   (resp. ``beta``) — the number of slots after ``S`` before its first
+   transmission attempt.  If a station sits on a growing queue past
+   ``2(L + 1) / rho`` slots without attempting, its backlog already
+   exceeded ``L``: the algorithm is **unstable** and the adversary
+   rests;
+3. otherwise solves ``(S + alpha) X = (S + beta) Y`` with
+   ``X, Y in [1, R]`` (take ``Y = 1``, ``X = (S + beta)/(S + alpha)``,
+   legal because ``S`` was chosen large enough), fixes those listening
+   slot lengths, and replays both stations together: both first
+   transmissions now *start at the same instant* — a **collision**,
+   contradicting collision-freedom.
+
+Either way the algorithm loses: it cannot be simultaneously stable,
+collision-free and control-message-free.  The silence-only probe is
+sound for this algorithm class — a station that cannot send control
+messages cannot transmit before it has a packet, so both stations
+really are silent until the solved collision instant.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, List, Optional, Tuple
+
+from ..analysis.bounds import thm4_minimum_start_slot
+from ..arrivals.source import StaticSchedule
+from ..core.errors import ConfigurationError
+from ..core.feedback import Feedback
+from ..core.simulator import Simulator
+from ..core.station import SlotContext, StationAlgorithm
+from ..core.timebase import Time, TimeLike, as_time
+from ..timing.adversary import TableDriven
+
+AlgorithmFactory = Callable[[int], StationAlgorithm]
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeResult:
+    """Outcome of the silent-channel probe of one station."""
+
+    station_id: int
+    #: Slots after slot ``S`` until the first transmit attempt, or
+    #: ``None`` if the attempt never came within the probe budget.
+    first_attempt_offset: Optional[int]
+    #: Queue length reached during the probe.
+    max_queue: int
+
+
+@dataclass(frozen=True, slots=True)
+class Theorem4Result:
+    """What the adversary forced, with the full witness."""
+
+    #: ``"collision_forced"`` or ``"queue_exceeded"``.
+    outcome: str
+    queue_limit: int
+    rho: Fraction
+    start_slot: int
+    probe_s1: ProbeResult
+    probe_s2: ProbeResult
+    #: The solved listening slot lengths (when a collision was forced).
+    slot_length_s1: Optional[Fraction] = None
+    slot_length_s2: Optional[Fraction] = None
+    #: Real time at which the two transmissions collided.
+    collision_time: Optional[Time] = None
+
+
+def _probe_injection_slots(
+    start_slot: int, rho: Fraction, horizon_slots: int
+) -> List[int]:
+    """Slot indices (1-based) whose ends receive a packet during a probe.
+
+    First packet at the end of slot ``S``; thereafter one packet every
+    ``ceil(2 / rho)`` slots — rate ``rho / 2`` in packets per slot.
+    """
+    gap = -((-2 * rho.denominator) // (rho.numerator))  # ceil(2 / rho)
+    slots = []
+    s = start_slot
+    while s <= start_slot + horizon_slots:
+        slots.append(s)
+        s += gap
+    return slots
+
+
+def probe_first_attempt(
+    algorithm: StationAlgorithm,
+    start_slot: int,
+    rho: Fraction,
+    queue_limit: int,
+) -> ProbeResult:
+    """Drive one station under silence-only feedback; find its first attempt.
+
+    The station is stepped through its slots with ``SILENCE`` feedback;
+    packets appear in its queue at the probe schedule.  Returns the
+    offset ``alpha`` of its first transmit attempt after slot ``S``,
+    or ``None`` with the queue evidence when it never attempts before
+    the queue limit is exceeded.
+    """
+    station = copy.deepcopy(algorithm)
+    sid = getattr(station, "station_id", 0)
+    # Enough slots that, at rate rho/2 per slot, the queue must exceed L.
+    horizon = int((2 * (queue_limit + 2)) / rho) + start_slot + 2
+    injection_slots = set(_probe_injection_slots(start_slot, rho, horizon))
+
+    queue = 0
+    max_queue = 0
+    action = station.first_action(
+        SlotContext(feedback=None, queue_size=0, slot_index=0)
+    )
+    for slot_number in range(1, horizon + 1):  # 1-based, the slot that just ran
+        if action.is_transmit:
+            offset = slot_number - 1 - start_slot
+            return ProbeResult(
+                station_id=sid, first_attempt_offset=offset, max_queue=max_queue
+            )
+        if slot_number in injection_slots:
+            queue += 1
+            max_queue = max(max_queue, queue)
+        action = station.on_slot_end(
+            SlotContext(
+                feedback=Feedback.SILENCE, queue_size=queue, slot_index=slot_number
+            )
+        )
+    return ProbeResult(station_id=sid, first_attempt_offset=None, max_queue=max_queue)
+
+
+def force_collision_or_overflow(
+    factory: AlgorithmFactory,
+    queue_limit: int,
+    rho: TimeLike,
+    max_slot_length: TimeLike,
+    s1: int = 1,
+    s2: int = 2,
+) -> Theorem4Result:
+    """Run the full Theorem 4 adversary against ``factory``'s algorithm.
+
+    Returns a :class:`Theorem4Result` whose ``outcome`` names the horn
+    of the dilemma that fired.  When a collision is forced, the result
+    was additionally *replayed on the real channel* (both stations
+    together, solved slot lengths) and the collision actually observed
+    — an assertion failure here would mean the construction or the
+    channel model is wrong.
+    """
+    rate = as_time(rho)
+    upper = as_time(max_slot_length)
+    if upper <= 1:
+        raise ConfigurationError("Theorem 4 requires R > 1")
+    if not 0 < rate < 1:
+        raise ConfigurationError(f"need 0 < rho < 1, got {rate}")
+    if s1 == s2:
+        raise ConfigurationError("pick two distinct stations")
+
+    start_slot = thm4_minimum_start_slot(queue_limit, rate, upper)
+    probe1 = probe_first_attempt(factory(s1), start_slot, rate, queue_limit)
+    probe2 = probe_first_attempt(factory(s2), start_slot, rate, queue_limit)
+
+    if probe1.first_attempt_offset is None or probe2.first_attempt_offset is None:
+        return Theorem4Result(
+            outcome="queue_exceeded",
+            queue_limit=queue_limit,
+            rho=rate,
+            start_slot=start_slot,
+            probe_s1=probe1,
+            probe_s2=probe2,
+        )
+
+    # Order so that alpha <= beta, then solve (S+alpha) X = (S+beta) Y.
+    if probe1.first_attempt_offset <= probe2.first_attempt_offset:
+        first, second = (s1, probe1), (s2, probe2)
+    else:
+        first, second = (s2, probe2), (s1, probe1)
+    alpha = first[1].first_attempt_offset
+    beta = second[1].first_attempt_offset
+    assert alpha is not None and beta is not None
+    x = Fraction(start_slot + beta, start_slot + alpha)
+    y = Fraction(1)
+    if not 1 <= x <= upper:
+        raise ConfigurationError(
+            f"S = {start_slot} too small: solved X = {x} outside [1, {upper}] "
+            "(increase the queue limit margin)"
+        )
+
+    collision_time = (start_slot + beta) * y  # == (start_slot + alpha) * x
+
+    # Replay for real: both stations, solved lengths, probe injections
+    # mapped to real time through each station's slot length.
+    lengths = {first[0]: x, second[0]: y}
+    horizon_slots = start_slot + beta + 2
+    arrivals: List[Tuple[Fraction, int]] = []
+    for sid, probe in (first, second):
+        for slot in _probe_injection_slots(start_slot, rate, horizon_slots):
+            arrivals.append((slot * lengths[sid], sid))
+    arrivals.sort(key=lambda pair: pair[0])
+
+    algorithms = {first[0]: factory(first[0]), second[0]: factory(second[0])}
+    table = {
+        sid: [length] * (horizon_slots + 4) for sid, length in lengths.items()
+    }
+    sim = Simulator(
+        algorithms,
+        TableDriven(table, default=1),
+        max_slot_length=upper,
+        arrival_source=StaticSchedule(arrivals),
+    )
+    sim.run(until_time=collision_time + 2 * upper)
+    if sim.channel.stats.collisions < 2:
+        raise AssertionError(
+            "Theorem 4 replay failed to produce the predicted collision at "
+            f"t = {collision_time}"
+        )
+
+    return Theorem4Result(
+        outcome="collision_forced",
+        queue_limit=queue_limit,
+        rho=rate,
+        start_slot=start_slot,
+        probe_s1=probe1,
+        probe_s2=probe2,
+        slot_length_s1=lengths[s1],
+        slot_length_s2=lengths[s2],
+        collision_time=collision_time,
+    )

@@ -1,0 +1,151 @@
+"""The Theorem 5 scenario: no algorithm is stable at injection rate 1.
+
+The paper's argument: a stable rate-1 algorithm must keep the channel
+occupied by successful transmissions at all but finitely many times.
+Whenever the currently transmitting station runs dry and another takes
+over, asynchrony lets the adversary misalign slots so the handover
+wastes time.  The adversary forces infinitely many handovers simply by
+*never injecting into the current transmitter* — so wasted time, and
+with it backlog, grows without bound.
+
+This module packages the construction as a measurement:
+
+* :class:`UnitTransmitSlots` — a slot adversary that keeps *transmit*
+  slots at length exactly 1 (so every packet's realized cost is 1 and
+  "rate 1" is exact), while stretching listening slots over a cyclic
+  ``[1, R]`` pattern to maximize handover misalignment;
+* :func:`measure_rate_one_instability` — runs any algorithm family
+  against :class:`~repro.arrivals.adaptive.StarveCurrentTransmitter`
+  at ``rho = 1`` and reports the backlog trajectory with a least-squares
+  growth slope.
+
+A positive slope with a backlog that keeps setting new maxima is the
+measured form of Theorem 5; a stable run (Theorems 3/6 territory,
+``rho < 1``) shows slope ~ 0 under the same harness, which the tests
+use as the control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..arrivals.adaptive import StarveCurrentTransmitter
+from ..core.simulator import Simulator
+from ..core.station import StationAlgorithm
+from ..core.timebase import Time, TimeLike, as_time
+from ..core.trace import Trace
+from ..timing.adversary import SlotAdversary
+
+AlgorithmsFactory = Callable[[], Dict[int, StationAlgorithm]]
+
+
+class UnitTransmitSlots(SlotAdversary):
+    """Transmit slots of length 1; listening slots cycle through ``[1, R]``.
+
+    Keeping transmit slots at unit length pins every packet's realized
+    cost to exactly 1, so an injection of one packet per time unit is an
+    *exact* rate-1 adversary under Definition 1.  Listening slots cycle
+    through station-dependent patterns to keep handovers misaligned.
+    """
+
+    def __init__(self, max_length: TimeLike) -> None:
+        self.max_length = as_time(max_length)
+
+    def next_slot_length(self, sim, station_id: int, slot_index: int) -> Fraction:
+        runtime = sim.stations[station_id]
+        action = runtime.action
+        if action is not None and action.is_transmit:
+            return Fraction(1)
+        if self.max_length == 1:
+            return Fraction(1)
+        pattern = (
+            (Fraction(1), self.max_length)
+            if station_id % 2
+            else (self.max_length, Fraction(1), (1 + self.max_length) / 2)
+        )
+        return pattern[slot_index % len(pattern)]
+
+
+@dataclass(frozen=True, slots=True)
+class RateOneReport:
+    """Backlog trajectory of a rate-one run, with its growth trend.
+
+    ``slope`` is the least-squares linear-fit slope of backlog over
+    time (packets per time unit); ``final_backlog`` and ``max_backlog``
+    are the endpoint and peak.  Theorem 5 predicts ``slope > 0`` that
+    does not vanish as the horizon grows.
+    """
+
+    horizon: Time
+    samples: List[Tuple[Fraction, int]]
+    slope: float
+    final_backlog: int
+    max_backlog: int
+    delivered: int
+
+    @property
+    def grew_unboundedly(self) -> bool:
+        """Heuristic instability verdict for a finite run.
+
+        The backlog at the end must be a large fraction of the peak
+        (not a transient) and the fitted slope clearly positive.
+        """
+        return self.slope > 0 and self.final_backlog >= self.max_backlog // 2
+
+
+def _least_squares_slope(samples: Sequence[Tuple[Fraction, int]]) -> float:
+    if len(samples) < 2:
+        return 0.0
+    xs = [float(t) for t, _ in samples]
+    ys = [float(v) for _, v in samples]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        return 0.0
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    return sxy / sxx
+
+
+def measure_rate_one_instability(
+    algorithms: Dict[int, StationAlgorithm],
+    max_slot_length: TimeLike,
+    horizon: TimeLike,
+    rho: TimeLike = 1,
+    burstiness: TimeLike = 2,
+    sample_every: int = 64,
+) -> RateOneReport:
+    """Run the Theorem 5 adversary against ``algorithms`` for ``horizon``.
+
+    The slot adversary is :class:`UnitTransmitSlots` (costs pinned to
+    1), the arrival adversary :class:`StarveCurrentTransmitter` at the
+    given rate.  Use ``rho < 1`` for the stability control runs.
+    """
+    upper = as_time(max_slot_length)
+    end = as_time(horizon)
+    station_ids = sorted(algorithms)
+    source = StarveCurrentTransmitter(
+        rho=rho, burstiness=burstiness, assumed_cost=1, station_ids=station_ids
+    )
+    trace = Trace(record_slots=False, backlog_stride=sample_every)
+    sim = Simulator(
+        algorithms,
+        UnitTransmitSlots(upper),
+        max_slot_length=upper,
+        arrival_source=source,
+        trace=trace,
+    )
+    sim.run(until_time=end)
+    samples = trace.backlog_series()
+    samples.append((sim.now, sim.total_backlog))
+    return RateOneReport(
+        horizon=end,
+        samples=samples,
+        slope=_least_squares_slope(samples),
+        final_backlog=sim.total_backlog,
+        max_backlog=trace.max_backlog,
+        delivered=len(sim.delivered_packets),
+    )

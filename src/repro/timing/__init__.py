@@ -1,0 +1,30 @@
+"""Slot-length adversaries for the partially asynchronous channel."""
+
+from .lookahead import CloningGreedyAdversary, MaxOverlapAdversary
+from .adversary import (
+    Adaptive,
+    CyclicPattern,
+    FixedLength,
+    PerStationFixed,
+    RandomUniform,
+    SlotAdversary,
+    StretchTransmitters,
+    Synchronous,
+    TableDriven,
+    worst_case_for,
+)
+
+__all__ = [
+    "Adaptive",
+    "CloningGreedyAdversary",
+    "MaxOverlapAdversary",
+    "CyclicPattern",
+    "FixedLength",
+    "PerStationFixed",
+    "RandomUniform",
+    "SlotAdversary",
+    "StretchTransmitters",
+    "Synchronous",
+    "TableDriven",
+    "worst_case_for",
+]

@@ -1,0 +1,227 @@
+"""Slot-length adversaries: who decides how long every slot lasts.
+
+Section II of the paper puts slot lengths under the control of an
+*online adversary*: each slot of each station has a length in ``[1, r]``
+for an execution-dependent ``r <= R``, and stations know only ``R``.
+An adversary here is any object with
+
+``next_slot_length(sim, station_id, slot_index) -> TimeLike``
+
+invoked at the instant the slot begins, with the full simulator exposed
+(the adversary is omniscient and adaptive).  Because every station
+algorithm is a deterministic, cloneable automaton, an adversary that
+wants end-of-slot adaptivity can simulate the system forward and decide
+at slot start with identical power — this is exactly how the
+lower-bound adversaries of :mod:`repro.lowerbounds` operate.
+
+This module provides the reusable oblivious and adaptive adversaries
+used by the stability experiments; the theorem-specific constructions
+live next to their theorems.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import Callable, Dict, Mapping, Optional, Sequence
+
+from ..core.errors import ConfigurationError
+from ..core.timebase import Time, TimeLike, as_time
+
+
+class SlotAdversary:
+    """Base class (also usable as a type marker) for slot adversaries."""
+
+    def next_slot_length(self, sim, station_id: int, slot_index: int) -> TimeLike:
+        raise NotImplementedError
+
+
+class Synchronous(SlotAdversary):
+    """The classical fully synchronous channel: every slot has length 1.
+
+    With this adversary the model degenerates to ``R = 1`` slotted time
+    and the synchronous baselines (RRW, MBTF) are in their home setting.
+    """
+
+    def next_slot_length(self, sim, station_id: int, slot_index: int) -> Fraction:
+        return Fraction(1)
+
+
+class FixedLength(SlotAdversary):
+    """Every slot of every station has the same fixed length.
+
+    A degenerate but useful adversary: with length ``r`` it produces a
+    synchronous execution on a slower clock, calibrating how algorithms
+    pay for the *bound* R rather than the realized r.
+    """
+
+    def __init__(self, length: TimeLike) -> None:
+        self.length = as_time(length)
+
+    def next_slot_length(self, sim, station_id: int, slot_index: int) -> Fraction:
+        return self.length
+
+
+class PerStationFixed(SlotAdversary):
+    """Each station runs at its own constant slot length.
+
+    This is the canonical "different clock speeds" adversary: station
+    ``i`` has every slot of length ``lengths[i]``.  Relative drift
+    between stations accumulates linearly, defeating algorithms that
+    assume aligned slot grids (e.g. naive TDMA round robin).
+    """
+
+    def __init__(self, lengths: Mapping[int, TimeLike]) -> None:
+        self.lengths: Dict[int, Fraction] = {
+            sid: as_time(length) for sid, length in lengths.items()
+        }
+
+    def next_slot_length(self, sim, station_id: int, slot_index: int) -> Fraction:
+        try:
+            return self.lengths[station_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"PerStationFixed has no length for station {station_id}"
+            ) from None
+
+
+class CyclicPattern(SlotAdversary):
+    """Each station cycles through a fixed pattern of slot lengths.
+
+    With different patterns per station this produces bounded but
+    irregular misalignment — the bread-and-butter stress for the
+    stability benches.
+    """
+
+    def __init__(self, patterns: Mapping[int, Sequence[TimeLike]]) -> None:
+        self.patterns: Dict[int, Sequence[Fraction]] = {}
+        for sid, pattern in patterns.items():
+            if not pattern:
+                raise ConfigurationError(f"empty slot pattern for station {sid}")
+            self.patterns[sid] = tuple(as_time(x) for x in pattern)
+
+    def next_slot_length(self, sim, station_id: int, slot_index: int) -> Fraction:
+        try:
+            pattern = self.patterns[station_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"CyclicPattern has no pattern for station {station_id}"
+            ) from None
+        return pattern[slot_index % len(pattern)]
+
+
+class RandomUniform(SlotAdversary):
+    """Independent random rational slot lengths in ``[1, R]``.
+
+    Lengths are drawn as ``1 + k/denominator`` with ``k`` uniform, so
+    they stay exact rationals with a bounded denominator (keeping the
+    Fraction arithmetic fast over long runs).  Deterministic given the
+    seed.
+    """
+
+    def __init__(self, max_length: TimeLike, seed: int, denominator: int = 8) -> None:
+        self.max_length = as_time(max_length)
+        if self.max_length < 1:
+            raise ConfigurationError("max_length must be >= 1")
+        if denominator < 1:
+            raise ConfigurationError("denominator must be >= 1")
+        self._rng = random.Random(seed)
+        self._denominator = denominator
+        span = self.max_length - 1
+        self._steps = int(span * denominator)  # exact when span*den integral
+        if Fraction(self._steps, denominator) != span:
+            raise ConfigurationError(
+                f"R - 1 = {span} is not a multiple of 1/{denominator}"
+            )
+
+    def next_slot_length(self, sim, station_id: int, slot_index: int) -> Fraction:
+        k = self._rng.randint(0, self._steps)
+        return 1 + Fraction(k, self._denominator)
+
+
+class TableDriven(SlotAdversary):
+    """Explicit per-station, per-slot length table with a default tail.
+
+    Used by the figure benches and the hand-constructed executions in
+    tests (e.g. the Fig. 2 schedule): ``table[sid][j]`` is the length of
+    slot ``j``; slots beyond the table get ``default``.
+    """
+
+    def __init__(
+        self,
+        table: Mapping[int, Sequence[TimeLike]],
+        default: TimeLike = 1,
+    ) -> None:
+        self.table: Dict[int, Sequence[Fraction]] = {
+            sid: tuple(as_time(x) for x in row) for sid, row in table.items()
+        }
+        self.default = as_time(default)
+
+    def next_slot_length(self, sim, station_id: int, slot_index: int) -> Fraction:
+        row = self.table.get(station_id, ())
+        if slot_index < len(row):
+            return row[slot_index]
+        return self.default
+
+
+class Adaptive(SlotAdversary):
+    """Wrap an arbitrary decision function as an adversary.
+
+    ``decide(sim, station_id, slot_index)`` sees the live simulator —
+    queue sizes, algorithm states, channel history — and returns a
+    length.  The theorem adversaries build on this directly.
+    """
+
+    def __init__(self, decide: Callable[[object, int, int], TimeLike]) -> None:
+        self._decide = decide
+
+    def next_slot_length(self, sim, station_id: int, slot_index: int) -> TimeLike:
+        return self._decide(sim, station_id, slot_index)
+
+
+class StretchTransmitters(SlotAdversary):
+    """Adaptive adversary that stretches transmitting slots, shrinks listens.
+
+    A simple worst-case-flavoured adversary for stability stress: a
+    station about to transmit gets a maximal slot (its packet costs the
+    full ``R``), while listening slots are minimal (other stations churn
+    through slots quickly, maximizing scheduling uncertainty).  The
+    decision uses the action the station just committed for this slot,
+    observable through the runtime.
+    """
+
+    def __init__(self, max_length: TimeLike) -> None:
+        self.max_length = as_time(max_length)
+
+    def next_slot_length(self, sim, station_id: int, slot_index: int) -> Fraction:
+        runtime = sim.stations[station_id]
+        # The simulator commits the station's action for the slot being
+        # opened before consulting the adversary, so runtime.action is
+        # the upcoming slot's intent.
+        action = runtime.action
+        if action is not None and action.is_transmit:
+            return self.max_length
+        return Fraction(1)
+
+
+def worst_case_for(max_length: TimeLike) -> SlotAdversary:
+    """The default adversarial schedule used by the stability benches.
+
+    Per-station coprime-ish cyclic patterns spanning ``[1, R]`` — strong
+    persistent misalignment without randomness.
+    """
+    upper = as_time(max_length)
+    if upper == 1:
+        return Synchronous()
+    mid = (1 + upper) / 2
+
+    class _Worst(SlotAdversary):
+        def next_slot_length(self, sim, station_id: int, slot_index: int) -> Fraction:
+            pattern = (
+                (Fraction(1), upper, mid)
+                if station_id % 2
+                else (upper, Fraction(1), Fraction(1), mid)
+            )
+            return pattern[slot_index % len(pattern)]
+
+    return _Worst()

@@ -1,0 +1,24 @@
+"""Text-based rendering: execution timelines and automaton diagrams."""
+
+from .automata import (
+    ABS_DIAGRAM,
+    ALL_DIAGRAMS,
+    AO_ARROW_DIAGRAM,
+    CA_ARROW_DIAGRAM,
+    AutomatonDiagram,
+    Transition,
+    render_all_text,
+)
+from .timeline import render_phases, render_timeline
+
+__all__ = [
+    "ABS_DIAGRAM",
+    "ALL_DIAGRAMS",
+    "AO_ARROW_DIAGRAM",
+    "AutomatonDiagram",
+    "CA_ARROW_DIAGRAM",
+    "Transition",
+    "render_all_text",
+    "render_phases",
+    "render_timeline",
+]

@@ -1,0 +1,168 @@
+"""The paper's automaton diagrams (Figs. 3, 5, 6) as data + renderings.
+
+Each diagram is described as an explicit transition table —
+``(state) --[input]--> (state)`` with the emitted channel action — and
+rendered either as fixed-width text or as Graphviz DOT (write the
+``.dot`` out and run ``dot -Tpng`` wherever Graphviz exists; this repo
+assumes no plotting stack).
+
+The tables double as machine-checkable documentation: the conformance
+tests assert that every state named here is exactly the state set the
+implementation can reach, so the diagrams cannot silently drift from
+the code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True, slots=True)
+class Transition:
+    """One labelled edge of an automaton diagram."""
+
+    source: str
+    inputs: str       # channel feedback / local condition label
+    target: str
+    action: str       # what the station does in the next slot
+
+
+@dataclass(frozen=True, slots=True)
+class AutomatonDiagram:
+    """A named automaton: states, start state, and labelled edges."""
+
+    name: str
+    figure: str
+    start: str
+    states: Tuple[str, ...]
+    terminals: Tuple[str, ...]
+    transitions: Tuple[Transition, ...]
+
+    def to_text(self) -> str:
+        """Fixed-width rendering of the transition table."""
+        width_source = max(len(t.source) for t in self.transitions)
+        width_inputs = max(len(t.inputs) for t in self.transitions)
+        width_target = max(len(t.target) for t in self.transitions)
+        lines = [
+            f"{self.name}  ({self.figure})",
+            f"start: {self.start}"
+            + (f"   terminals: {', '.join(self.terminals)}" if self.terminals else ""),
+            "",
+        ]
+        for t in self.transitions:
+            lines.append(
+                f"  {t.source.ljust(width_source)} --[{t.inputs.ljust(width_inputs)}]--> "
+                f"{t.target.ljust(width_target)}  : {t.action}"
+            )
+        return "\n".join(lines)
+
+    def to_dot(self) -> str:
+        """Graphviz DOT source for the diagram."""
+        lines = [
+            f'digraph "{self.name}" {{',
+            "  rankdir=LR;",
+            '  node [shape=box, fontname="Helvetica"];',
+            f'  "{self.start}" [style=bold];',
+        ]
+        for terminal in self.terminals:
+            lines.append(f'  "{terminal}" [shape=doubleoctagon];')
+        for t in self.transitions:
+            label = t.inputs.replace('"', "'")
+            action = t.action.replace('"', "'")
+            lines.append(
+                f'  "{t.source}" -> "{t.target}" '
+                f'[label="{label}\\n{action}"];'
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+
+ABS_DIAGRAM = AutomatonDiagram(
+    name="ABS (Asymmetric Binary Search)",
+    figure="Fig. 3 of the paper",
+    start="wait_silence",
+    states=("wait_silence", "listen_threshold", "transmitted"),
+    terminals=("won", "eliminated"),
+    transitions=(
+        Transition("wait_silence", "busy", "wait_silence", "listen (box 1)"),
+        Transition("wait_silence", "silence", "listen_threshold",
+                   "arm 3R / 4R^2+3R by next ID bit (boxes 2-4)"),
+        Transition("wait_silence", "ack", "eliminated", "someone won SST"),
+        Transition("listen_threshold", "silence < threshold",
+                   "listen_threshold", "listen"),
+        Transition("listen_threshold", "silence = threshold",
+                   "transmitted", "transmit one slot (box 5)"),
+        Transition("listen_threshold", "busy", "eliminated", "exit (box 6)"),
+        Transition("listen_threshold", "ack", "eliminated", "someone won SST"),
+        Transition("transmitted", "ack", "won", "exit with winning (box 7)"),
+        Transition("transmitted", "busy", "wait_silence",
+                   "collision: next phase (box 1)"),
+    ),
+)
+
+AO_ARROW_DIAGRAM = AutomatonDiagram(
+    name="AO-ARRoW",
+    figure="Fig. 5 of the paper",
+    start="observe",
+    states=("observe", "election", "drain", "sync_wait", "sync_tx"),
+    terminals=(),
+    transitions=(
+        Transition("observe", "queue>0 & wait=0 at round boundary",
+                   "election", "run ABS with packet transmissions (box 2)"),
+        Transition("observe", "ack then silence", "observe",
+                   "round boundary: wait -= 1 (boxes 3/6/8)"),
+        Transition("observe", "silence x threshold", "sync_wait",
+                   "long silence: wait <- 0 (box 7; needs queue>0)"),
+        Transition("observe", "activity after crossed threshold",
+                   "election", "sync signal heard: rejoin (box 9 edge)"),
+        Transition("sync_wait", "silence x R*threshold", "sync_tx",
+                   "transmit the sync packet (box 9)"),
+        Transition("sync_wait", "activity", "election",
+                   "someone signalled first"),
+        Transition("sync_tx", "ack | busy", "election",
+                   "everyone rejoins together"),
+        Transition("election", "ABS won, queue>0", "drain",
+                   "transmit all packets (box 4)"),
+        Transition("election", "ABS won, queue empty", "observe",
+                   "wait <- n-1 (box 6)"),
+        Transition("election", "ABS eliminated", "observe",
+                   "loser listens for the round to end (box 5)"),
+        Transition("drain", "ack, queue>0", "drain", "next packet"),
+        Transition("drain", "ack, queue empty", "observe",
+                   "wait <- n-1 (box 6)"),
+    ),
+)
+
+CA_ARROW_DIAGRAM = AutomatonDiagram(
+    name="CA-ARRoW",
+    figure="Fig. 6 of the paper",
+    start="wait_end",
+    states=("wait_end", "gap", "transmitting"),
+    terminals=(),
+    transitions=(
+        Transition("wait_end", "activity", "wait_end", "listen; mark activity"),
+        Transition("wait_end", "activity then silence, next != me",
+                   "wait_end", "turn += 1"),
+        Transition("wait_end", "activity then silence, next = me",
+                   "gap", "turn += 1; count 2R slots"),
+        Transition("gap", "silence x 2R", "transmitting",
+                   "transmit packets, or one empty signal"),
+        Transition("gap", "activity", "gap", "restart the count"),
+        Transition("transmitting", "ack, queue>0", "transmitting",
+                   "next packet"),
+        Transition("transmitting", "ack, done", "wait_end",
+                   "turn += 1; fall silent"),
+    ),
+)
+
+ALL_DIAGRAMS: Dict[str, AutomatonDiagram] = {
+    "abs": ABS_DIAGRAM,
+    "ao-arrow": AO_ARROW_DIAGRAM,
+    "ca-arrow": CA_ARROW_DIAGRAM,
+}
+
+
+def render_all_text() -> str:
+    """Every diagram, as one text document."""
+    return "\n\n".join(d.to_text() for d in ALL_DIAGRAMS.values())

@@ -1,0 +1,53 @@
+"""Shared builders for the test suite."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Optional
+
+from repro.algorithms import AOArrow, CAArrow, MBTFLike, RRW
+from repro.arrivals import UniformRate
+from repro.core import Simulator, StationAlgorithm, Trace
+from repro.timing import SlotAdversary, Synchronous, worst_case_for
+
+
+def make_ao(n: int, R) -> Dict[int, StationAlgorithm]:
+    return {i: AOArrow(i, n, R) for i in range(1, n + 1)}
+
+
+def make_ca(n: int, R) -> Dict[int, StationAlgorithm]:
+    return {i: CAArrow(i, n, R) for i in range(1, n + 1)}
+
+
+def make_rrw(n: int) -> Dict[int, StationAlgorithm]:
+    return {i: RRW(i, n) for i in range(1, n + 1)}
+
+
+def make_mbtf(n: int) -> Dict[int, StationAlgorithm]:
+    return {i: MBTFLike(i, n) for i in range(1, n + 1)}
+
+
+def run_loaded(
+    algorithms: Dict[int, StationAlgorithm],
+    R,
+    rho,
+    horizon,
+    adversary: Optional[SlotAdversary] = None,
+    assumed_cost=None,
+    record_slots: bool = False,
+) -> Simulator:
+    """Run a uniform-rate workload against ``algorithms`` for ``horizon``."""
+    adversary = adversary if adversary is not None else worst_case_for(R)
+    assumed_cost = assumed_cost if assumed_cost is not None else R
+    source = UniformRate(
+        rho=rho, targets=sorted(algorithms), assumed_cost=assumed_cost
+    )
+    sim = Simulator(
+        algorithms,
+        adversary,
+        max_slot_length=R,
+        arrival_source=source,
+        trace=Trace(record_slots=record_slots),
+    )
+    sim.run(until_time=horizon)
+    return sim

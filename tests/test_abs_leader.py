@@ -1,0 +1,241 @@
+"""Unit and integration tests for the ABS leader-election algorithm."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import ABSLeaderElection, AbsCore, id_bit
+from repro.analysis import abs_slot_upper_bound
+from repro.core import (
+    Feedback,
+    LISTEN,
+    ProtocolError,
+    Simulator,
+    TRANSMIT_CONTROL,
+    TRANSMIT_PACKET,
+)
+from repro.timing import (
+    CyclicPattern,
+    PerStationFixed,
+    RandomUniform,
+    Synchronous,
+    worst_case_for,
+)
+
+
+class TestIdBit:
+    def test_lsb_first(self):
+        assert [id_bit(6, k) for k in range(4)] == [0, 1, 1, 0]
+
+    def test_padding_zeros(self):
+        assert id_bit(3, 10) == 0
+
+
+class TestAbsCoreUnit:
+    def test_starts_listening(self):
+        core = AbsCore(station_id=1, max_slot_length=2)
+        assert core.start() == LISTEN
+
+    def test_box1_waits_through_busy(self):
+        core = AbsCore(station_id=1, max_slot_length=2)
+        core.start()
+        assert core.step(Feedback.BUSY) == LISTEN
+        assert core.state == "wait_silence"
+        assert core.step(Feedback.SILENCE) == LISTEN
+        assert core.state == "listen_threshold"
+
+    def test_bit0_threshold_armed(self):
+        core = AbsCore(station_id=2, max_slot_length=2)  # bit 0 of 2 is 0
+        core.start()
+        core.step(Feedback.SILENCE)
+        assert core.threshold == 6  # 3R at R=2
+
+    def test_bit1_threshold_armed(self):
+        core = AbsCore(station_id=1, max_slot_length=2)  # bit 0 of 1 is 1
+        core.start()
+        core.step(Feedback.SILENCE)
+        assert core.threshold == 22  # 4R^2+3R at R=2
+
+    def test_transmits_after_threshold_silence(self):
+        core = AbsCore(station_id=2, max_slot_length=2)
+        core.start()
+        core.step(Feedback.SILENCE)  # enter threshold loop
+        for _ in range(5):
+            assert core.step(Feedback.SILENCE) == LISTEN
+        assert core.step(Feedback.SILENCE) == TRANSMIT_CONTROL
+
+    def test_busy_in_threshold_eliminates(self):
+        core = AbsCore(station_id=2, max_slot_length=2)
+        core.start()
+        core.step(Feedback.SILENCE)
+        assert core.step(Feedback.BUSY) is None
+        assert core.outcome == "eliminated"
+        assert not core.eliminated_by_ack
+
+    def test_ack_while_listening_eliminates_with_flag(self):
+        core = AbsCore(station_id=2, max_slot_length=2)
+        core.start()
+        core.step(Feedback.SILENCE)
+        assert core.step(Feedback.ACK) is None
+        assert core.eliminated_by_ack
+
+    def test_ack_in_box1_eliminates(self):
+        core = AbsCore(station_id=2, max_slot_length=2)
+        core.start()
+        assert core.step(Feedback.ACK) is None
+        assert core.eliminated_by_ack
+
+    def test_ack_after_transmit_wins(self):
+        core = AbsCore(station_id=2, max_slot_length=2)
+        core.start()
+        core.step(Feedback.SILENCE)
+        for _ in range(5):
+            core.step(Feedback.SILENCE)
+        assert core.step(Feedback.SILENCE) == TRANSMIT_CONTROL
+        assert core.step(Feedback.ACK) is None
+        assert core.outcome == "won"
+
+    def test_collision_advances_phase(self):
+        core = AbsCore(station_id=2, max_slot_length=2)
+        core.start()
+        core.step(Feedback.SILENCE)
+        for _ in range(5):
+            core.step(Feedback.SILENCE)
+        core.step(Feedback.SILENCE)  # transmit
+        assert core.step(Feedback.BUSY) == LISTEN  # collided -> next phase
+        assert core.phase == 1
+        assert core.state == "wait_silence"
+
+    def test_silence_after_transmit_is_model_violation(self):
+        core = AbsCore(station_id=2, max_slot_length=2)
+        core.start()
+        core.step(Feedback.SILENCE)
+        for _ in range(6):
+            core.step(Feedback.SILENCE)
+        with pytest.raises(ProtocolError):
+            core.step(Feedback.SILENCE)
+
+    def test_step_after_termination_rejected(self):
+        core = AbsCore(station_id=2, max_slot_length=2)
+        core.start()
+        core.step(Feedback.SILENCE)
+        core.step(Feedback.BUSY)
+        with pytest.raises(ProtocolError):
+            core.step(Feedback.SILENCE)
+
+    def test_packet_carrying_core_transmits_packets(self):
+        core = AbsCore(station_id=2, max_slot_length=2, carries_packet=True)
+        core.start()
+        core.step(Feedback.SILENCE)
+        for _ in range(5):
+            core.step(Feedback.SILENCE)
+        assert core.step(Feedback.SILENCE) == TRANSMIT_PACKET
+
+    def test_non_positive_id_rejected(self):
+        with pytest.raises(ProtocolError):
+            AbsCore(station_id=0, max_slot_length=2)
+
+
+def run_election(n, R, adversary, max_events=500_000):
+    algos = {i: ABSLeaderElection(i, R) for i in range(1, n + 1)}
+    sim = Simulator(algos, adversary, max_slot_length=R)
+    end = sim.run_until_success(max_events=max_events)
+    return sim, algos, end
+
+
+def finish_election(sim, algos, slack=2000):
+    """Run on until every station has terminated (won or eliminated)."""
+    sim.run(
+        max_events=sim.events_processed + slack,
+        stop_when=lambda s: all(a.is_done for a in algos.values()),
+    )
+
+
+class TestSstSynchronous:
+    def test_exactly_one_winner(self):
+        sim, algos, end = run_election(5, 1, Synchronous())
+        assert end is not None
+        finish_election(sim, algos)
+        winners = [i for i, a in algos.items() if a.outcome == "won"]
+        assert len(winners) == 1
+        assert all(
+            a.outcome == "eliminated" for i, a in algos.items() if i != winners[0]
+        )
+
+    def test_single_station_wins_alone(self):
+        sim, algos, end = run_election(1, 1, Synchronous())
+        assert end is not None
+        finish_election(sim, algos)
+        assert algos[1].outcome == "won"
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 7, 8, 16, 33])
+    def test_within_theorem1_bound_sync(self, n):
+        sim, algos, end = run_election(n, 1, Synchronous())
+        assert end is not None
+        assert sim.max_slots_elapsed() <= abs_slot_upper_bound(n, 1)
+
+
+class TestSstAsynchronous:
+    @pytest.mark.parametrize(
+        "lengths",
+        [
+            {1: 1, 2: 2, 3: "3/2", 4: 2, 5: 1},
+            {1: 2, 2: 2, 3: 2, 4: 2, 5: 2},
+            {1: 1, 2: "5/4", 3: "3/2", 4: "7/4", 5: 2},
+        ],
+    )
+    def test_exactly_one_winner_fixed_speeds(self, lengths):
+        sim, algos, end = run_election(5, 2, PerStationFixed(lengths))
+        assert end is not None
+        finish_election(sim, algos)
+        winners = [i for i, a in algos.items() if a.outcome == "won"]
+        assert len(winners) == 1
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_exactly_one_winner_random_slots(self, seed):
+        sim, algos, end = run_election(8, 3, RandomUniform(3, seed=seed))
+        assert end is not None
+        finish_election(sim, algos)
+        winners = [i for i, a in algos.items() if a.outcome == "won"]
+        assert len(winners) == 1
+
+    @pytest.mark.parametrize("n,R", [(4, 2), (8, 2), (8, 4), (16, 3)])
+    def test_within_theorem1_bound_async(self, n, R):
+        sim, algos, end = run_election(n, R, worst_case_for(R))
+        assert end is not None
+        assert sim.max_slots_elapsed() <= abs_slot_upper_bound(n, R)
+
+    def test_winner_transmission_is_the_first_success(self):
+        sim, algos, end = run_election(6, 2, worst_case_for(2))
+        finish_election(sim, algos)
+        winners = [i for i, a in algos.items() if a.outcome == "won"]
+        successes = [
+            t for t in sim.channel.live_records if t.successful
+        ]
+        assert successes and successes[0].station_id == winners[0]
+
+    def test_fractional_r(self):
+        sim, algos, end = run_election(
+            4, "3/2", CyclicPattern({1: [1], 2: ["3/2"], 3: [1, "3/2"], 4: ["5/4"]})
+        )
+        assert end is not None
+        finish_election(sim, algos)
+        winners = [i for i, a in algos.items() if a.outcome == "won"]
+        assert len(winners) == 1
+
+
+class TestAbsWrapperBehaviour:
+    def test_done_station_listens_forever(self):
+        algo = ABSLeaderElection(2, 2)
+        algo.core.outcome = "eliminated"
+        from repro.core import SlotContext
+
+        ctx = SlotContext(feedback=Feedback.BUSY, queue_size=0, slot_index=5)
+        for _ in range(3):
+            assert algo.on_slot_end(ctx) == LISTEN
+        assert algo.is_done
+
+    def test_slots_used_exposed(self):
+        sim, algos, end = run_election(4, 2, worst_case_for(2))
+        finish_election(sim, algos)
+        assert all(a.slots_used > 0 for a in algos.values())

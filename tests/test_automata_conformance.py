@@ -1,0 +1,148 @@
+"""E11: automaton well-formedness for Figs. 3, 5, 6.
+
+Every (state, feedback, queue-regime) combination of each automaton
+must yield a defined action — never an unhandled branch, never an
+action that violates the automaton's declared model row (AO-ARRoW must
+not emit control messages; CA-ARRoW never transmits outside its turn).
+Transitions are driven exhaustively by brute force over the reachable
+state space under short feedback strings.
+"""
+
+import itertools
+
+import pytest
+
+from repro.algorithms import AOArrow, CAArrow, FaultTolerantCAArrow
+from repro.algorithms.abs_leader import AbsCore
+from repro.core import Feedback, ProtocolError, SlotContext
+
+FEEDBACKS = [Feedback.SILENCE, Feedback.BUSY, Feedback.ACK]
+
+
+def ctx(feedback, queue, index=1):
+    return SlotContext(feedback=feedback, queue_size=queue, slot_index=index)
+
+
+def drive(algo, feedback_string, queue):
+    """Feed a feedback string; returns the actions taken (skipping
+    infeasible prefixes, i.e. model-impossible feedback for the action
+    on the air)."""
+    actions = [algo.first_action(ctx(None, queue, 0))]
+    for index, feedback in enumerate(feedback_string, start=1):
+        previous = actions[-1]
+        if previous.is_transmit and feedback is Feedback.SILENCE:
+            return None  # channel-model-impossible path
+        actions.append(algo.on_slot_end(ctx(feedback, queue, index)))
+    return actions
+
+
+class TestAbsCoreConformance:
+    @pytest.mark.parametrize("station_id", [1, 2, 3, 6])
+    @pytest.mark.parametrize("depth", [4])
+    def test_every_feasible_path_defined(self, station_id, depth):
+        for string in itertools.product(FEEDBACKS, repeat=depth):
+            core = AbsCore(station_id=station_id, max_slot_length=2)
+            action = core.start()
+            feasible = True
+            for feedback in string:
+                if core.done:
+                    break
+                if action is not None and action.is_transmit and feedback is Feedback.SILENCE:
+                    feasible = False
+                    break
+                action = core.step(feedback)
+            if not feasible:
+                continue
+            # Terminal cores must carry an outcome; live ones a state.
+            if core.done:
+                assert core.outcome in ("won", "eliminated")
+            else:
+                assert core.state in ("wait_silence", "listen_threshold", "transmitted")
+
+    def test_impossible_feedback_rejected_not_mangled(self):
+        core = AbsCore(station_id=2, max_slot_length=2)
+        core.start()
+        core.step(Feedback.SILENCE)
+        for _ in range(6):
+            core.step(Feedback.SILENCE)  # reaches the transmit slot
+        with pytest.raises(ProtocolError):
+            core.step(Feedback.SILENCE)
+
+
+class TestAOArrowConformance:
+    @pytest.mark.parametrize("queue", [0, 3])
+    @pytest.mark.parametrize("depth", [5])
+    def test_every_feasible_path_defined_and_control_free(self, queue, depth):
+        for string in itertools.product(FEEDBACKS, repeat=depth):
+            algo = AOArrow(2, 3, 2)
+            actions = drive(algo, string, queue)
+            if actions is None:
+                continue
+            for action in actions:
+                if action.is_transmit:
+                    assert action.carries_packet, (
+                        "AO-ARRoW emitted a control message"
+                    )
+            assert algo.state in (
+                "observe", "election", "drain", "sync_wait", "sync_tx"
+            )
+
+    def test_never_transmits_with_empty_queue(self):
+        for string in itertools.product(FEEDBACKS, repeat=5):
+            algo = AOArrow(1, 2, 2)
+            actions = drive(algo, string, queue=0)
+            if actions is None:
+                continue
+            assert all(not action.is_transmit for action in actions)
+
+
+class TestCAArrowConformance:
+    @pytest.mark.parametrize("station_id", [1, 2, 3])
+    @pytest.mark.parametrize("queue", [0, 2])
+    def test_every_feasible_path_defined(self, station_id, queue):
+        for string in itertools.product(FEEDBACKS, repeat=5):
+            algo = CAArrow(station_id, 3, 2)
+            actions = drive(algo, string, queue)
+            if actions is None:
+                continue
+            assert algo.state in ("wait_end", "gap", "transmitting")
+            assert 1 <= algo.turn <= 3
+
+    def test_non_holder_stays_silent(self):
+        # Station 3 of a 3-ring only ever transmits after its turn has
+        # provably arrived (two observed turn completions).
+        for string in itertools.product(FEEDBACKS, repeat=4):
+            algo = CAArrow(3, 3, 2)
+            actions = drive(algo, string, queue=2)
+            if actions is None:
+                continue
+            for action in actions:
+                if action.is_transmit:
+                    assert algo.stats.turns_taken >= 1
+                    assert algo.turn == 3
+
+
+class TestFTCAArrowConformance:
+    @pytest.mark.parametrize("station_id", [1, 2])
+    def test_every_feasible_path_defined(self, station_id):
+        for string in itertools.product(FEEDBACKS, repeat=5):
+            algo = FaultTolerantCAArrow(station_id, 3, 2)
+            actions = drive(algo, string, queue=1)
+            if actions is None:
+                continue
+            assert algo.state in ("wait_end", "gap", "transmitting", "claim")
+            assert algo.skip_count >= 0
+            assert algo.silent_run >= 0
+
+    def test_reduces_to_ca_on_short_horizons(self):
+        # With the ladder disengaged (short feedback strings), FT-CA and
+        # CA take identical actions on identical inputs.
+        for string in itertools.product(FEEDBACKS, repeat=5):
+            ca = CAArrow(2, 3, 2)
+            ft = FaultTolerantCAArrow(2, 3, 2)
+            a = drive(ca, string, queue=2)
+            b = drive(ft, string, queue=2)
+            if a is None or b is None:
+                assert a == b  # both infeasible at the same prefix
+                continue
+            assert a == b

@@ -1,0 +1,100 @@
+"""Tests that the documented automaton diagrams match the code.
+
+The diagrams in ``repro.viz.automata`` are documentation-as-data;
+these tests keep them honest: every state a diagram names must be a
+state the implementation can actually occupy, and vice versa.
+"""
+
+import itertools
+
+import pytest
+
+from repro.algorithms import AOArrow, CAArrow
+from repro.algorithms.abs_leader import AbsCore
+from repro.core import Feedback, SlotContext
+from repro.viz import (
+    ABS_DIAGRAM,
+    ALL_DIAGRAMS,
+    AO_ARROW_DIAGRAM,
+    CA_ARROW_DIAGRAM,
+    render_all_text,
+)
+
+FEEDBACKS = [Feedback.SILENCE, Feedback.BUSY, Feedback.ACK]
+
+
+def reachable_states(factory, queue, depth=6):
+    """All implementation states reachable under short feedback strings."""
+    states = set()
+    for string in itertools.product(FEEDBACKS, repeat=depth):
+        algo = factory()
+        action = algo.first_action(
+            SlotContext(feedback=None, queue_size=queue, slot_index=0)
+        )
+        states.add(algo.state if hasattr(algo, "state") else None)
+        ok = True
+        for index, feedback in enumerate(string, start=1):
+            if action.is_transmit and feedback is Feedback.SILENCE:
+                ok = False
+                break
+            action = algo.on_slot_end(
+                SlotContext(feedback=feedback, queue_size=queue, slot_index=index)
+            )
+            states.add(algo.state)
+        if not ok:
+            continue
+    states.discard(None)
+    return states
+
+
+class TestDiagramsMatchImplementations:
+    def test_abs_states(self):
+        # AbsCore states + terminals cover the diagram exactly.
+        diagram_states = set(ABS_DIAGRAM.states) | set(ABS_DIAGRAM.terminals)
+        implementation_states = {"wait_silence", "listen_threshold", "transmitted"}
+        implementation_outcomes = {"won", "eliminated"}
+        assert diagram_states == implementation_states | implementation_outcomes
+
+    def test_abs_transitions_executable(self):
+        # Drive AbsCore along each diagram edge's input where feasible.
+        core = AbsCore(station_id=2, max_slot_length=2)
+        core.start()
+        assert core.state == "wait_silence"
+        core.step(Feedback.BUSY)
+        assert core.state == "wait_silence"  # busy self-loop
+        core.step(Feedback.SILENCE)
+        assert core.state == "listen_threshold"
+
+    def test_ao_arrow_states(self):
+        reached = reachable_states(lambda: AOArrow(2, 3, 2), queue=2)
+        assert reached <= set(AO_ARROW_DIAGRAM.states)
+        # The cheap drive reaches at least observe and election.
+        assert {"observe", "election"} <= reached
+
+    def test_ca_arrow_states(self):
+        reached = reachable_states(lambda: CAArrow(2, 3, 2), queue=2)
+        assert reached <= set(CA_ARROW_DIAGRAM.states)
+        assert {"wait_end", "gap"} <= reached
+
+
+class TestRenderings:
+    @pytest.mark.parametrize("key", sorted(ALL_DIAGRAMS))
+    def test_text_contains_all_states(self, key):
+        diagram = ALL_DIAGRAMS[key]
+        text = diagram.to_text()
+        for state in diagram.states:
+            assert state in text
+        assert diagram.figure in text
+
+    @pytest.mark.parametrize("key", sorted(ALL_DIAGRAMS))
+    def test_dot_is_wellformed(self, key):
+        diagram = ALL_DIAGRAMS[key]
+        dot = diagram.to_dot()
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("->") == len(diagram.transitions)
+
+    def test_render_all(self):
+        text = render_all_text()
+        for diagram in ALL_DIAGRAMS.values():
+            assert diagram.name in text

@@ -1,0 +1,209 @@
+"""Unit and stability tests for CA-ARRoW (Fig. 6, Theorem 6)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import CAArrow
+from repro.analysis import (
+    assess_stability,
+    ca_gap_slots,
+    ca_queue_bound_L,
+    collect_metrics,
+)
+from repro.arrivals import BurstyRate, StaticSchedule, UniformRate
+from repro.core import ConfigurationError, Feedback, Simulator, SlotContext, Trace
+from repro.timing import RandomUniform, Synchronous, worst_case_for
+
+from .helpers import make_ca, run_loaded
+
+
+def ctx(feedback, queue=0, index=1):
+    return SlotContext(feedback=feedback, queue_size=queue, slot_index=index)
+
+
+class TestConstruction:
+    def test_id_range_checked(self):
+        with pytest.raises(ConfigurationError):
+            CAArrow(0, 3, 2)
+        with pytest.raises(ConfigurationError):
+            CAArrow(4, 3, 2)
+
+    def test_declares_control_and_collision_freedom(self):
+        algo = CAArrow(1, 3, 2)
+        assert algo.uses_control_messages
+        assert algo.collision_free_by_design
+
+    def test_gap_from_bounds_module(self):
+        assert CAArrow(1, 3, "5/2").gap_slots == ca_gap_slots("5/2")
+
+
+class TestAutomatonUnit:
+    def test_station_one_transmits_first(self):
+        algo = CAArrow(1, 3, 2)
+        action = algo.first_action(ctx(None, queue=2, index=0))
+        assert action.is_transmit and action.carries_packet
+
+    def test_station_one_sends_noise_when_empty(self):
+        algo = CAArrow(1, 3, 2)
+        action = algo.first_action(ctx(None, queue=0, index=0))
+        assert action.is_transmit and not action.carries_packet
+
+    def test_others_listen_first(self):
+        algo = CAArrow(2, 3, 2)
+        assert not algo.first_action(ctx(None, queue=5, index=0)).is_transmit
+
+    def test_turn_advances_on_activity_then_silence(self):
+        algo = CAArrow(3, 3, 2)
+        algo.first_action(ctx(None, index=0))
+        algo.on_slot_end(ctx(Feedback.ACK))
+        assert algo.turn == 1
+        algo.on_slot_end(ctx(Feedback.SILENCE))
+        assert algo.turn == 2
+
+    def test_silence_alone_does_not_advance(self):
+        algo = CAArrow(3, 3, 2)
+        algo.first_action(ctx(None, index=0))
+        for _ in range(5):
+            algo.on_slot_end(ctx(Feedback.SILENCE))
+        assert algo.turn == 1
+
+    def test_successor_counts_gap_before_transmitting(self):
+        algo = CAArrow(2, 3, 2)
+        algo.first_action(ctx(None, queue=1, index=0))
+        algo.on_slot_end(ctx(Feedback.ACK, queue=1))
+        algo.on_slot_end(ctx(Feedback.SILENCE, queue=1))
+        assert algo.state == "gap"
+        action = None
+        for _ in range(algo.gap_slots):
+            action = algo.on_slot_end(ctx(Feedback.SILENCE, queue=1))
+        assert action is not None and action.is_transmit
+
+    def test_gap_resets_on_unexpected_activity(self):
+        algo = CAArrow(2, 3, 2)
+        algo.first_action(ctx(None, queue=1, index=0))
+        algo.on_slot_end(ctx(Feedback.ACK, queue=1))
+        algo.on_slot_end(ctx(Feedback.SILENCE, queue=1))
+        algo.on_slot_end(ctx(Feedback.SILENCE, queue=1))
+        algo.on_slot_end(ctx(Feedback.BUSY, queue=1))
+        assert algo.gap_count == 0
+
+    def test_holder_keeps_transmitting_until_empty(self):
+        algo = CAArrow(1, 2, 2)
+        algo.first_action(ctx(None, queue=3, index=0))
+        assert algo.on_slot_end(ctx(Feedback.ACK, queue=2)).carries_packet
+        assert algo.on_slot_end(ctx(Feedback.ACK, queue=1)).carries_packet
+        done = algo.on_slot_end(ctx(Feedback.ACK, queue=0))
+        assert not done.is_transmit
+        assert algo.turn == 2
+
+    def test_wraps_cyclically(self):
+        algo = CAArrow(1, 2, 2)
+        algo.first_action(ctx(None, queue=0, index=0))
+        algo.on_slot_end(ctx(Feedback.ACK))  # noise acked -> advance to 2
+        assert algo.turn == 2
+        algo.on_slot_end(ctx(Feedback.ACK))      # station 2 active
+        algo.on_slot_end(ctx(Feedback.SILENCE))  # done -> back to 1
+        assert algo.turn == 1
+        assert algo.state == "gap"
+
+
+class TestCollisionFreedom:
+    """The headline invariant: zero collisions in *every* execution."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_no_collisions_random_schedules(self, seed):
+        n, R = 4, 3
+        src = UniformRate(rho="3/5", targets=[1, 2, 3, 4], assumed_cost=R)
+        sim = Simulator(
+            make_ca(n, R),
+            RandomUniform(R, seed=seed),
+            max_slot_length=R,
+            arrival_source=src,
+        )
+        sim.run(until_time=4000)
+        assert sim.channel.stats.collisions == 0
+
+    @pytest.mark.parametrize("R", [1, 2, 3, "3/2", "5/2"])
+    def test_no_collisions_worst_case_schedules(self, R):
+        sim = run_loaded(make_ca(3, R), R=R, rho="1/2", horizon=4000)
+        assert sim.channel.stats.collisions == 0
+
+    def test_no_collisions_bursty_load(self):
+        n, R = 5, 2
+        src = BurstyRate(rho="4/5", burst_size=6, targets=list(range(1, 6)), assumed_cost=R)
+        sim = Simulator(
+            make_ca(n, R), worst_case_for(R), max_slot_length=R, arrival_source=src
+        )
+        sim.run(until_time=8000)
+        assert sim.channel.stats.collisions == 0
+        assert all(a.stats.unexpected_busy == 0 for a in sim.stations.values()
+                   for a in [sim.algorithm(a.station_id)])
+
+    def test_idle_system_keeps_cycling_noise(self):
+        n, R = 3, 2
+        sim = Simulator(make_ca(n, R), worst_case_for(R), max_slot_length=R)
+        sim.run(until_time=2000)
+        assert sim.channel.stats.collisions == 0
+        assert sim.channel.stats.control_transmissions > 10
+        # Every station takes turns even with nothing to send.
+        assert all(sim.algorithm(i).stats.turns_taken > 0 for i in sim.station_ids)
+
+
+class TestTheorem6Stability:
+    @pytest.mark.parametrize("rho", ["3/10", "3/5", "9/10"])
+    def test_bounded_backlog(self, rho):
+        n, R = 3, 2
+        trace = Trace(backlog_stride=8)
+        src = UniformRate(rho=rho, targets=[1, 2, 3], assumed_cost=R)
+        sim = Simulator(
+            make_ca(n, R),
+            worst_case_for(R),
+            max_slot_length=R,
+            arrival_source=src,
+            trace=trace,
+        )
+        sim.run(until_time=20_000)
+        samples = trace.backlog_series()
+        samples.append((sim.now, sim.total_backlog))
+        assert assess_stability(samples, 20_000, tolerance=5).stable
+
+    def test_queue_cost_below_theorem_bound(self):
+        n, R, rho, b = 3, 2, Fraction(1, 2), 2
+        trace = Trace(backlog_stride=1)
+        src = BurstyRate(rho=rho, burst_size=2, targets=[1, 2, 3], assumed_cost=R)
+        sim = Simulator(
+            make_ca(n, R),
+            worst_case_for(R),
+            max_slot_length=R,
+            arrival_source=src,
+            trace=trace,
+        )
+        sim.run(until_time=30_000)
+        assert trace.max_backlog * R <= ca_queue_bound_L(n, R, rho, b)
+
+    def test_fairness_across_stations(self):
+        sim = run_loaded(make_ca(4, 2), R=2, rho="3/5", horizon=10_000)
+        per_station = {sid: 0 for sid in sim.station_ids}
+        for p in sim.delivered_packets:
+            per_station[p.station_id] += 1
+        counts = sorted(per_station.values())
+        assert counts[0] > 0
+        assert counts[-1] <= 3 * max(counts[0], 1)
+
+    def test_throughput_tracks_rate(self):
+        sim = run_loaded(make_ca(3, 2), R=2, rho="3/5", horizon=20_000)
+        metrics = collect_metrics(sim)
+        assert Fraction(2, 5) < metrics.throughput_cost <= Fraction(4, 5)
+
+    def test_single_station_ring(self):
+        src = StaticSchedule([(10, 1), (11, 1), (12, 1)])
+        sim = Simulator(
+            {1: CAArrow(1, 1, 2)},
+            worst_case_for(2),
+            max_slot_length=2,
+            arrival_source=src,
+        )
+        sim.run(until_time=500)
+        assert len(sim.delivered_packets) == 3
+        assert sim.channel.stats.collisions == 0

@@ -1,0 +1,153 @@
+"""Unit tests for the channel's overlap resolution and feedback oracle."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import Channel, SimulationError, make_interval
+
+
+def tx(channel, sid, a, b):
+    return channel.begin_transmission(sid, make_interval(a, b), packet=None)
+
+
+class TestOverlapResolution:
+    def test_lone_transmission_succeeds(self):
+        ch = Channel()
+        t = tx(ch, 1, 0, 1)
+        assert t.successful
+
+    def test_two_overlapping_both_fail(self):
+        ch = Channel()
+        t1 = tx(ch, 1, 0, 2)
+        t2 = tx(ch, 2, 1, 3)
+        assert not t1.successful and not t2.successful
+        assert ch.stats.collisions == 2
+
+    def test_touching_transmissions_both_succeed(self):
+        ch = Channel()
+        t1 = tx(ch, 1, 0, 2)
+        t2 = tx(ch, 2, 2, 4)
+        assert t1.successful and t2.successful
+        assert ch.stats.collisions == 0
+
+    def test_three_way_pileup(self):
+        ch = Channel()
+        records = [tx(ch, 1, 0, 3), tx(ch, 2, 1, 2), tx(ch, 3, 1, 4)]
+        assert all(not r.successful for r in records)
+        assert ch.stats.collisions == 3
+
+    def test_collision_counted_once_per_transmission(self):
+        ch = Channel()
+        tx(ch, 1, 0, 10)
+        tx(ch, 2, 1, 2)
+        tx(ch, 3, 3, 4)  # overlaps only the first
+        assert ch.stats.collisions == 3  # 1, 2, 3 each counted once
+
+    def test_nested_transmission_kills_both(self):
+        ch = Channel()
+        t1 = tx(ch, 1, 0, 5)
+        t2 = tx(ch, 2, 2, 3)
+        assert not t1.successful and not t2.successful
+
+    def test_out_of_order_recording_rejected(self):
+        ch = Channel()
+        tx(ch, 1, 5, 6)
+        with pytest.raises(SimulationError):
+            tx(ch, 2, 4, 7)
+
+    def test_equal_start_times_allowed(self):
+        ch = Channel()
+        t1 = tx(ch, 1, 3, 4)
+        t2 = tx(ch, 2, 3, 5)
+        assert not t1.successful and not t2.successful
+
+
+class TestFeedbackOracle:
+    def test_silence_when_nothing_recorded(self):
+        ch = Channel()
+        assert not ch.feedback_has_activity(make_interval(0, 1))
+
+    def test_activity_on_partial_overlap(self):
+        ch = Channel()
+        tx(ch, 1, 0, 2)
+        assert ch.feedback_has_activity(make_interval(1, 3))
+
+    def test_no_activity_for_touching_slot(self):
+        ch = Channel()
+        tx(ch, 1, 0, 2)
+        assert not ch.feedback_has_activity(make_interval(2, 3))
+
+    def test_successful_ending_within_basic(self):
+        ch = Channel()
+        t = tx(ch, 1, 0, 2)
+        found = ch.successful_ending_within(make_interval(1, 3))
+        assert found is t
+
+    def test_ack_at_exact_slot_end(self):
+        ch = Channel()
+        t = tx(ch, 1, 0, 2)
+        assert ch.successful_ending_within(make_interval(1, 2)) is t
+
+    def test_no_ack_for_collided_transmission(self):
+        ch = Channel()
+        tx(ch, 1, 0, 2)
+        tx(ch, 2, 1, 3)
+        assert ch.successful_ending_within(make_interval(0, 4)) is None
+        assert ch.feedback_has_activity(make_interval(0, 4))
+
+    def test_two_successes_in_one_long_slot(self):
+        # Back-to-back successes inside one long listening slot: the
+        # oracle reports the latest-ending one, and lists both.
+        ch = Channel()
+        t1 = tx(ch, 1, 0, 1)
+        t2 = tx(ch, 2, 1, 2)
+        slot = make_interval(0, 3)
+        assert ch.successful_ending_within(slot) is t2
+        both = ch.successes_ending_within(slot)
+        assert len(both) == 2 and t1 in both and t2 in both
+
+    def test_count_successes_up_to(self):
+        ch = Channel()
+        tx(ch, 1, 0, 1)
+        tx(ch, 2, 2, 3)
+        assert ch.count_successes_up_to(Fraction(1)) == 1
+        assert ch.count_successes_up_to(Fraction(3)) == 2
+        assert ch.count_successes_up_to(Fraction(1, 2)) == 0
+
+
+class TestPruning:
+    def test_prune_folds_success_stats(self):
+        ch = Channel()
+        tx(ch, 1, 0, 1)
+        tx(ch, 2, 2, 3)
+        ch.prune_before(Fraction(2))
+        assert ch.stats.successes == 1
+        assert ch.stats.success_time == Fraction(1)
+        assert len(ch.live_records) == 1
+
+    def test_count_consistent_across_prune(self):
+        ch = Channel()
+        for k in range(10):
+            tx(ch, 1, 2 * k, 2 * k + 1)
+        before = ch.count_successes_up_to(Fraction(100))
+        ch.prune_before(Fraction(9))
+        assert ch.count_successes_up_to(Fraction(100)) == before == 10
+
+    def test_first_success_end_tracked_through_prune(self):
+        ch = Channel()
+        tx(ch, 1, 5, 6)
+        tx(ch, 2, 7, 8)
+        ch.prune_before(Fraction(100))
+        assert ch.first_success_end == Fraction(6)
+
+    def test_busy_time_accumulates(self):
+        ch = Channel()
+        tx(ch, 1, 0, 2)
+        tx(ch, 2, 5, Fraction(13, 2))
+        assert ch.stats.busy_time == Fraction(7, 2)
+
+    def test_control_transmissions_counted(self):
+        ch = Channel()
+        ch.begin_transmission(1, make_interval(0, 1), packet=None)
+        assert ch.stats.control_transmissions == 1

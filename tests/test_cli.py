@@ -1,0 +1,143 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.algorithm == "ca-arrow"
+        assert args.n == 4
+
+    def test_adversary_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["adversary", "nonsense"])
+
+
+class TestRunCommand:
+    def test_ca_arrow_run(self, capsys):
+        code = main(
+            ["run", "--algorithm", "ca-arrow", "--n", "3", "--rho", "1/2",
+             "--horizon", "800"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "collisions:     0" in out
+        assert "delivered:" in out
+
+    def test_ao_arrow_run(self, capsys):
+        code = main(
+            ["run", "--algorithm", "ao-arrow", "--n", "3", "--rho", "1/2",
+             "--horizon", "800"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "control msgs:   0" in out
+
+    def test_bursty_workload(self, capsys):
+        code = main(
+            ["run", "--algorithm", "mbtf", "--n", "3", "--rho", "1/2",
+             "--horizon", "500", "--schedule", "sync", "--max-slot", "1",
+             "--burst", "4"]
+        )
+        assert code == 0
+        assert "delivered:" in capsys.readouterr().out
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--algorithm", "carrier-pigeon"])
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--schedule", "lunar"])
+
+
+class TestSstCommand:
+    def test_abs(self, capsys):
+        code = main(["sst", "--algorithm", "abs", "--n", "6"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "solved at:" in out
+        assert "winner:" in out
+
+    def test_doubling(self, capsys):
+        code = main(
+            ["sst", "--algorithm", "doubling", "--n", "5", "--schedule",
+             "random", "--seed", "3"]
+        )
+        assert code == 0
+        assert "winner:" in capsys.readouterr().out
+
+    def test_randomized(self, capsys):
+        code = main(
+            ["sst", "--algorithm", "randomized", "--n", "5", "--seed", "2"]
+        )
+        assert code == 0
+        assert "winner:" in capsys.readouterr().out
+
+    def test_unknown_sst_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sst", "--algorithm", "oracle"])
+
+
+class TestAdversaryCommand:
+    def test_mirror(self, capsys):
+        code = main(["adversary", "mirror", "--n", "16", "--realized-r", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "slots forced:" in out
+        assert "0 successes (verified)" in out
+
+    def test_thm4(self, capsys):
+        code = main(["adversary", "thm4", "--queue-limit", "8"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "collision_forced" in out
+
+    def test_rate1(self, capsys):
+        code = main(
+            ["adversary", "rate1", "--algorithm", "ca-arrow", "--n", "3",
+             "--horizon", "2500"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "UNSTABLE" in out
+
+
+class TestBoundsCommand:
+    def test_prints_every_bound(self, capsys):
+        code = main(["bounds", "--n", "8", "--max-slot", "2", "--rho", "3/4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for marker in ("Thm 1", "Thm 2", "Thm 3", "Thm 6", "sync threshold"):
+            assert marker in out
+
+
+class TestDiagramCommand:
+    def test_all_diagrams(self, capsys):
+        code = main(["diagram"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ABS" in out and "AO-ARRoW" in out and "CA-ARRoW" in out
+
+    def test_single_diagram_text(self, capsys):
+        code = main(["diagram", "abs"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "wait_silence" in out
+
+    def test_single_diagram_dot(self, capsys):
+        code = main(["diagram", "ca-arrow", "--dot"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("digraph")
+
+    def test_unknown_diagram_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["diagram", "escher"])

@@ -1,0 +1,135 @@
+"""Tests for the Theorem 4 collision-forcing adversary."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import NaiveTDMA, RRW
+from repro.core import ConfigurationError
+from repro.lowerbounds import force_collision_or_overflow, probe_first_attempt
+
+
+class TestProbe:
+    def test_tdma_attempt_offset(self):
+        # Station 1 of a 2-ring owns even slot indices; its first
+        # attempt after a packet at the end of slot S lands at the next
+        # owned slot.
+        probe = probe_first_attempt(
+            NaiveTDMA(1, 2), start_slot=10, rho=Fraction(1, 2), queue_limit=8
+        )
+        assert probe.first_attempt_offset is not None
+        assert 0 <= probe.first_attempt_offset <= 2
+
+    def test_rrw_attempts_on_its_turn(self):
+        probe = probe_first_attempt(
+            RRW(2, 2), start_slot=10, rho=Fraction(1, 2), queue_limit=8
+        )
+        assert probe.first_attempt_offset is not None
+        assert probe.first_attempt_offset <= 2  # turn returns within n slots
+
+    def test_never_transmitting_station_reports_queue_growth(self):
+        from repro.core import LISTEN, StationAlgorithm
+
+        class Mute(StationAlgorithm):
+            def first_action(self, ctx):
+                return LISTEN
+
+            def on_slot_end(self, ctx):
+                return LISTEN
+
+        probe = probe_first_attempt(
+            Mute(), start_slot=5, rho=Fraction(1, 2), queue_limit=4
+        )
+        assert probe.first_attempt_offset is None
+        assert probe.max_queue > 4
+
+    def test_probe_does_not_mutate_original(self):
+        algo = RRW(1, 2)
+        probe_first_attempt(algo, start_slot=10, rho=Fraction(1, 2), queue_limit=4)
+        assert algo.turn == 1  # untouched
+
+
+class TestForceCollision:
+    @pytest.mark.parametrize("victim", ["tdma", "rrw"])
+    @pytest.mark.parametrize("L", [4, 16])
+    def test_collision_forced_on_round_robins(self, victim, L):
+        factory = (
+            (lambda sid: NaiveTDMA(sid, 2))
+            if victim == "tdma"
+            else (lambda sid: RRW(sid, 2))
+        )
+        result = force_collision_or_overflow(
+            factory, queue_limit=L, rho="1/2", max_slot_length=2
+        )
+        assert result.outcome == "collision_forced"
+        # The collision equation held exactly.
+        s = result.start_slot
+        a = result.probe_s1.first_attempt_offset
+        b = result.probe_s2.first_attempt_offset
+        assert (s + a) * result.slot_length_s1 == (s + b) * result.slot_length_s2
+
+    def test_slot_lengths_legal(self):
+        result = force_collision_or_overflow(
+            lambda sid: NaiveTDMA(sid, 2),
+            queue_limit=8,
+            rho="1/2",
+            max_slot_length=2,
+        )
+        assert 1 <= result.slot_length_s1 <= 2
+        assert 1 <= result.slot_length_s2 <= 2
+
+    def test_mute_algorithm_overflows_queue(self):
+        from repro.core import LISTEN, StationAlgorithm
+
+        class Mute(StationAlgorithm):
+            def first_action(self, ctx):
+                return LISTEN
+
+            def on_slot_end(self, ctx):
+                return LISTEN
+
+        result = force_collision_or_overflow(
+            lambda sid: Mute(), queue_limit=6, rho="1/2", max_slot_length=2
+        )
+        assert result.outcome == "queue_exceeded"
+        assert result.probe_s1.max_queue > 6
+
+    def test_requires_real_asynchrony(self):
+        with pytest.raises(ConfigurationError):
+            force_collision_or_overflow(
+                lambda sid: NaiveTDMA(sid, 2),
+                queue_limit=4,
+                rho="1/2",
+                max_slot_length=1,
+            )
+
+    def test_requires_valid_rate(self):
+        with pytest.raises(ConfigurationError):
+            force_collision_or_overflow(
+                lambda sid: NaiveTDMA(sid, 2),
+                queue_limit=4,
+                rho=1,
+                max_slot_length=2,
+            )
+
+    def test_distinct_stations_required(self):
+        with pytest.raises(ConfigurationError):
+            force_collision_or_overflow(
+                lambda sid: NaiveTDMA(sid, 2),
+                queue_limit=4,
+                rho="1/2",
+                max_slot_length=2,
+                s1=1,
+                s2=1,
+            )
+
+    def test_larger_r_gives_more_adversary_room(self):
+        # With a bigger R the solved ratio has more slack; the
+        # construction still succeeds at small L.
+        result = force_collision_or_overflow(
+            lambda sid: NaiveTDMA(sid, 2),
+            queue_limit=4,
+            rho="1/4",
+            max_slot_length=4,
+        )
+        assert result.outcome == "collision_forced"

@@ -1,0 +1,221 @@
+"""Tests for the open-problem extensions: unknown-R SST, randomized SST,
+look-ahead adversaries (Section VII of the paper)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import (
+    ABSLeaderElection,
+    DoublingABS,
+    RandomizedSST,
+    epoch_budget,
+    epoch_guess,
+)
+from repro.core import ConfigurationError, Feedback, Simulator, SlotContext
+from repro.timing import (
+    CloningGreedyAdversary,
+    MaxOverlapAdversary,
+    PerStationFixed,
+    RandomUniform,
+    Synchronous,
+    worst_case_for,
+)
+
+
+def finish_all(sim, algos, slack=500_000):
+    sim.run(
+        max_events=sim.events_processed + slack,
+        stop_when=lambda s: all(a.is_done for a in algos.values()),
+    )
+
+
+class TestEpochParameters:
+    def test_guesses_double(self):
+        assert [epoch_guess(e) for e in range(4)] == [1, 2, 4, 8]
+
+    def test_budget_grows_superlinearly(self):
+        budgets = [epoch_budget(8, e) for e in range(5)]
+        assert budgets == sorted(budgets)
+        assert budgets[4] > 4 * budgets[3] > 16 * budgets[2] / 4
+
+    def test_budget_covers_slowest_competitor(self):
+        from repro.analysis import abs_slot_upper_bound
+
+        for e in range(4):
+            guess = epoch_guess(e)
+            assert epoch_budget(8, e) >= guess * abs_slot_upper_bound(8, guess)
+
+
+class TestDoublingABS:
+    @pytest.mark.parametrize(
+        "n,adversary,r",
+        [
+            (4, Synchronous(), 1),
+            (4, PerStationFixed({1: 1, 2: "3/2", 3: 2, 4: "5/4"}), 2),
+            (5, worst_case_for(3), 3),
+            (8, worst_case_for(2), 2),
+        ],
+    )
+    def test_exactly_one_winner(self, n, adversary, r):
+        algos = {i: DoublingABS(i, n) for i in range(1, n + 1)}
+        sim = Simulator(algos, adversary, max_slot_length=r)
+        finish_all(sim, algos)
+        winners = [i for i, a in algos.items() if a.outcome == "won"]
+        assert len(winners) == 1
+        assert all(
+            a.outcome == "eliminated" for i, a in algos.items() if i != winners[0]
+        )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_unique_winner_random_schedules(self, seed):
+        n, r = 6, 4
+        algos = {i: DoublingABS(i, n) for i in range(1, n + 1)}
+        sim = Simulator(algos, RandomUniform(r, seed=seed), max_slot_length=r)
+        finish_all(sim, algos)
+        winners = [i for i, a in algos.items() if a.outcome == "won"]
+        assert len(winners) == 1
+
+    def test_history_records_epochs(self):
+        n = 4
+        algos = {i: DoublingABS(i, n) for i in range(1, n + 1)}
+        sim = Simulator(algos, worst_case_for(2), max_slot_length=2)
+        finish_all(sim, algos)
+        for algo in algos.values():
+            assert algo.history
+            assert algo.history[-1].outcome in ("won", "eliminated")
+            assert algo.total_slots_spent > 0
+
+    def test_single_station(self):
+        algos = {1: DoublingABS(1, 1)}
+        sim = Simulator(algos, Synchronous(), max_slot_length=1)
+        finish_all(sim, algos)
+        assert algos[1].outcome == "won"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DoublingABS(1, 0)
+        with pytest.raises(ConfigurationError):
+            DoublingABS(1, 4, max_epochs=0)
+
+    def test_against_mirror_adversary_stays_safe(self):
+        # The mirror construction can stall deterministic algorithms
+        # but must never trick DoublingABS into two winners: replay the
+        # realized schedule and check.
+        from repro.lowerbounds import run_mirror_adversary, verify_mirror_execution
+
+        factory = lambda sid: DoublingABS(sid, 16)  # noqa: E731
+        result = run_mirror_adversary(factory, 16, 2, max_phases=60)
+        sim = verify_mirror_execution(factory, result)
+        assert sim.channel.count_successes_up_to(sim.now) == 0
+
+
+class TestRandomizedSST:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_exactly_one_winner(self, seed):
+        n, R = 6, 2
+        algos = {
+            i: RandomizedSST(i, transmit_probability=1 / n, seed=seed)
+            for i in range(1, n + 1)
+        }
+        sim = Simulator(algos, worst_case_for(R), max_slot_length=R)
+        end = sim.run_until_success(max_events=500_000)
+        assert end is not None
+        finish_all(sim, algos, slack=2000)
+        winners = [i for i, a in algos.items() if a.outcome == "won"]
+        assert len(winners) == 1
+
+    def test_backoff_decays_probability(self):
+        algo = RandomizedSST(1, transmit_probability=0.8, decay=0.5, seed=1)
+        algo.first_action(SlotContext(feedback=None, queue_size=0, slot_index=0))
+        before = algo.probability
+        # Force a transmit then feed busy (collision).
+        algo._was_transmitting = True
+        algo.on_slot_end(
+            SlotContext(feedback=Feedback.BUSY, queue_size=0, slot_index=1)
+        )
+        assert algo.probability == before / 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RandomizedSST(1, transmit_probability=0)
+        with pytest.raises(ConfigurationError):
+            RandomizedSST(1, transmit_probability=0.5, decay=0)
+
+    def test_typically_faster_than_abs_at_moderate_n(self):
+        # The point of the extension: randomization beats the
+        # deterministic machinery in the common case.  Compare median
+        # slot counts over seeds.
+        n, R = 8, 2
+        randomized = []
+        for seed in range(7):
+            algos = {
+                i: RandomizedSST(i, transmit_probability=1 / n, seed=seed)
+                for i in range(1, n + 1)
+            }
+            sim = Simulator(algos, worst_case_for(R), max_slot_length=R)
+            assert sim.run_until_success(max_events=500_000) is not None
+            randomized.append(sim.max_slots_elapsed())
+        abs_algos = {i: ABSLeaderElection(i, R) for i in range(1, n + 1)}
+        abs_sim = Simulator(abs_algos, worst_case_for(R), max_slot_length=R)
+        assert abs_sim.run_until_success(max_events=500_000) is not None
+        abs_slots = abs_sim.max_slots_elapsed()
+        randomized.sort()
+        assert randomized[len(randomized) // 2] < abs_slots
+
+
+class TestLookaheadAdversaries:
+    def test_max_overlap_lengths_legal(self):
+        n, R = 4, 2
+        algos = {i: ABSLeaderElection(i, R) for i in range(1, n + 1)}
+        sim = Simulator(algos, MaxOverlapAdversary(R), max_slot_length=R)
+        end = sim.run_until_success(max_events=200_000)
+        assert end is not None  # legal schedule; ABS still wins
+
+    def test_max_overlap_hurts_more_than_synchrony(self):
+        n, R = 6, 2
+        overlap_algos = {i: ABSLeaderElection(i, R) for i in range(1, n + 1)}
+        overlap_sim = Simulator(
+            overlap_algos, MaxOverlapAdversary(R), max_slot_length=R
+        )
+        overlap_sim.run_until_success(max_events=200_000)
+        sync_algos = {i: ABSLeaderElection(i, 1) for i in range(1, n + 1)}
+        sync_sim = Simulator(sync_algos, Synchronous(), max_slot_length=1)
+        sync_sim.run_until_success(max_events=200_000)
+        assert overlap_sim.max_slots_elapsed() >= sync_sim.max_slots_elapsed()
+
+    def test_cloning_greedy_validation(self):
+        with pytest.raises(ConfigurationError):
+            CloningGreedyAdversary(2, horizon_events=0)
+        with pytest.raises(ConfigurationError):
+            CloningGreedyAdversary(2, candidates=[3])
+
+    def test_cloning_greedy_produces_legal_runs(self):
+        n, R = 3, 2
+        algos = {i: ABSLeaderElection(i, R) for i in range(1, n + 1)}
+        adversary = CloningGreedyAdversary(R, horizon_events=24)
+        sim = Simulator(algos, adversary, max_slot_length=R)
+        end = sim.run_until_success(max_events=2000)
+        assert end is not None
+        assert adversary.decisions > 0
+
+    def test_cloning_probe_does_not_corrupt_the_run(self):
+        # The same configuration with and without look-ahead cloning
+        # must deliver identical *victim-visible* semantics; here we
+        # check the probed run stays internally consistent (queue
+        # conservation, no stuck heap) over a dynamic workload.
+        from repro.algorithms import CAArrow
+        from repro.arrivals import UniformRate
+
+        n, R = 3, 2
+        algos = {i: CAArrow(i, n, R) for i in range(1, n + 1)}
+        source = UniformRate(rho="1/2", targets=[1, 2, 3], assumed_cost=R)
+        adversary = CloningGreedyAdversary(R, horizon_events=16)
+        sim = Simulator(
+            algos, adversary, max_slot_length=R, arrival_source=source
+        )
+        sim.run(until_time=120)
+        delivered = len(sim.delivered_packets)
+        queued = sum(sim.queue_size(i) for i in sim.station_ids)
+        assert delivered + sim.total_backlog >= delivered + queued
+        assert sim.now == 120

@@ -1,0 +1,209 @@
+"""End-to-end integration scenarios across subsystem boundaries.
+
+Each test is a small story exercising several modules together —
+the kind of composite behaviour unit tests cannot see.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import AOArrow, CAArrow, FaultTolerantCAArrow
+from repro.analysis import (
+    assess_stability,
+    collect_metrics,
+    summarize_latencies,
+    utilization,
+    wasted_time,
+)
+from repro.arrivals import check_admissible
+from repro.arrivals import (
+    BurstyRate,
+    ConcatSource,
+    StaticSchedule,
+    UniformRate,
+)
+from repro.core import Simulator, Trace
+from repro.faults import PeriodicJammer, crash_fleet
+from repro.timing import RandomUniform, Synchronous, worst_case_for
+
+
+class TestLoadSpikeRecovery:
+    """Quiet system -> burst -> quiet: backlog spikes and fully drains."""
+
+    @pytest.mark.parametrize("make", ["ao", "ca"])
+    def test_spike_drains_to_zero(self, make):
+        n, R = 3, 2
+        algos = (
+            {i: AOArrow(i, n, R) for i in range(1, n + 1)}
+            if make == "ao"
+            else {i: CAArrow(i, n, R) for i in range(1, n + 1)}
+        )
+        spike = StaticSchedule(
+            [(500, (k % 3) + 1) for k in range(30)]
+        )
+        trace = Trace(backlog_stride=1)
+        sim = Simulator(
+            algos, worst_case_for(R), R, arrival_source=spike, trace=trace
+        )
+        sim.run(until_time=6000)
+        assert sim.total_backlog == 0
+        assert len(sim.delivered_packets) == 30
+        assert trace.max_backlog == 30
+
+    def test_two_spikes_with_idle_between(self):
+        n, R = 3, 2
+        algos = {i: AOArrow(i, n, R) for i in range(1, n + 1)}
+        spikes = StaticSchedule(
+            [(100, 1), (100, 2), (100, 3), (4000, 1), (4000, 2), (4000, 3)]
+        )
+        sim = Simulator(algos, worst_case_for(R), R, arrival_source=spikes)
+        sim.run(until_time=8000)
+        assert sim.total_backlog == 0
+        assert len(sim.delivered_packets) == 6
+
+
+class TestMixedWorkloads:
+    def test_concat_of_steady_and_bursts(self):
+        n, R = 4, 2
+        algos = {i: CAArrow(i, n, R) for i in range(1, n + 1)}
+        source = ConcatSource(
+            [
+                UniformRate(rho="1/4", targets=[1, 2], assumed_cost=R),
+                BurstyRate(
+                    rho="1/4", burst_size=4, targets=[3, 4], assumed_cost=R
+                ),
+            ]
+        )
+        trace = Trace(backlog_stride=8)
+        sim = Simulator(
+            algos, worst_case_for(R), R, arrival_source=source, trace=trace
+        )
+        sim.run(until_time=10_000)
+        samples = trace.backlog_series()
+        samples.append((sim.now, sim.total_backlog))
+        assert assess_stability(samples, 10_000, tolerance=5).stable
+        assert sim.channel.stats.collisions == 0
+
+    def test_combined_workload_still_admissible(self):
+        n, R = 3, 2
+        algos = {i: CAArrow(i, n, R) for i in range(1, n + 1)}
+        source = ConcatSource(
+            [
+                UniformRate(rho="1/4", targets=[1], assumed_cost=R),
+                UniformRate(rho="1/4", targets=[2, 3], assumed_cost=R),
+            ]
+        )
+        sim = Simulator(algos, worst_case_for(R), R, arrival_source=source)
+        sim.run(until_time=5000)
+        packets = sim.delivered_packets + [
+            p for sid in sim.station_ids for p in sim.stations[sid].queue
+        ]
+        # Two rate-1/4 buckets compose into a rate-1/2 bucket with the
+        # sum of burstinesses.
+        report = check_admissible(
+            packets, rho="1/2", burstiness=2 * R, undelivered_cost=R
+        )
+        assert report.realized_rate <= Fraction(1, 2)
+
+
+class TestAccountingIdentities:
+    """Cross-module bookkeeping must agree exactly."""
+
+    def test_waste_utilization_and_throughput_are_consistent(self):
+        n, R = 3, 2
+        algos = {i: CAArrow(i, n, R) for i in range(1, n + 1)}
+        source = UniformRate(rho="3/5", targets=[1, 2, 3], assumed_cost=R)
+        sim = Simulator(algos, worst_case_for(R), R, arrival_source=source)
+        sim.run(until_time=5000)
+        metrics = collect_metrics(sim)
+        assert wasted_time(sim) + sim.channel.stats.success_time == sim.now
+        assert utilization(sim) == sim.channel.stats.success_time / sim.now
+        # success_time = delivered packet cost + successful control
+        # signals' time; with a loaded CA ring control noise is rare
+        # but must still reconcile.
+        control_time = sim.channel.stats.success_time - metrics.delivered_cost
+        assert control_time >= 0
+
+    def test_delivered_plus_queued_equals_injected(self):
+        n, R = 3, 2
+        algos = {i: AOArrow(i, n, R) for i in range(1, n + 1)}
+        source = UniformRate(
+            rho="1/2", targets=[1, 2, 3], assumed_cost=R, limit=200
+        )
+        sim = Simulator(algos, worst_case_for(R), R, arrival_source=source)
+        sim.run(until_time=20_000)
+        # Finite workload fully delivered.
+        assert len(sim.delivered_packets) == 200
+        assert sim.total_backlog == 0
+        # Latency distribution is well-formed over the full workload.
+        summary = summarize_latencies(sim.delivered_packets)
+        assert summary.count == 200
+        assert summary.minimum > 0
+
+
+class TestHostileEnvironmentSurvival:
+    """Crash + jammer + random schedule, all at once."""
+
+    def test_ft_ca_under_crash_and_light_jamming(self):
+        n, R = 4, 2
+        fleet = crash_fleet(
+            {i: FaultTolerantCAArrow(i, n, R) for i in range(1, n + 1)},
+            {4: 60},
+        )
+        fleet[9] = PeriodicJammer(burst=1, period=40, budget=20)
+        source = UniformRate(rho="1/4", targets=[1, 2, 3], assumed_cost=R)
+        sim = Simulator(
+            fleet, RandomUniform(R, seed=11), R, arrival_source=source
+        )
+        sim.run(until_time=10_000)
+        # Progress despite a dead station and a (budgeted) jammer.
+        assert len(sim.delivered_packets) > 200
+        # The jammer exhausted its budget.
+        assert fleet[9].stats.jam_slots == 20
+
+    def test_plain_ca_livelocks_after_jamming_desync(self):
+        # Documented fragility: jamming corrupts plain CA-ARRoW's turn
+        # views permanently — two stations retry-collide forever even
+        # after the jammer's budget runs out.
+        n, R = 3, 2
+        fleet = {i: CAArrow(i, n, R) for i in range(1, n + 1)}
+        fleet[9] = PeriodicJammer(burst=1, period=10, budget=15)
+        source = UniformRate(rho="1/4", targets=[1, 2, 3], assumed_cost=R)
+        sim = Simulator(fleet, worst_case_for(R), R, arrival_source=source)
+        sim.run(until_time=12_000)
+        assert sim.total_backlog > 500
+        assert sim.channel.stats.collisions > 1000
+
+    def test_ft_ca_recovers_after_jammer_dies(self):
+        # The FT variant's conflict backoff + ID-staggered claims +
+        # ladder-round ring reset restore the ring once jamming stops.
+        n, R = 3, 2
+        fleet = {i: FaultTolerantCAArrow(i, n, R) for i in range(1, n + 1)}
+        fleet[9] = PeriodicJammer(burst=1, period=10, budget=15)
+        source = UniformRate(rho="1/4", targets=[1, 2, 3], assumed_cost=R)
+        sim = Simulator(fleet, worst_case_for(R), R, arrival_source=source)
+        sim.run(until_time=12_000)
+        assert sim.total_backlog < 20
+        assert len(sim.delivered_packets) > 1000
+
+
+class TestSynchronousDegeneracy:
+    """R = 1 must reduce every async algorithm to sane synchronous
+    behaviour (Fig. 1's comparability premise)."""
+
+    @pytest.mark.parametrize("cls", [AOArrow, CAArrow, FaultTolerantCAArrow])
+    def test_async_algorithms_run_clean_at_r1(self, cls):
+        n = 3
+        algos = {i: cls(i, n, 1) for i in range(1, n + 1)}
+        source = UniformRate(rho="3/5", targets=[1, 2, 3], assumed_cost=1)
+        trace = Trace(backlog_stride=8)
+        sim = Simulator(
+            algos, Synchronous(), 1, arrival_source=source, trace=trace
+        )
+        sim.run(until_time=8000)
+        samples = trace.backlog_series()
+        samples.append((sim.now, sim.total_backlog))
+        assert assess_stability(samples, 8000, tolerance=5).stable
+        if cls is not AOArrow:
+            assert sim.channel.stats.collisions == 0

@@ -1,0 +1,101 @@
+"""Tests for the k-selection primitive (§VII extension)."""
+
+import pytest
+
+from repro.algorithms.k_selection import KSelection
+from repro.analysis import abs_slot_upper_bound
+from repro.core import ConfigurationError, Simulator
+from repro.timing import (
+    PerStationFixed,
+    RandomUniform,
+    Synchronous,
+    worst_case_for,
+)
+
+
+def run_selection(n, k, R, adversary, max_events=3_000_000):
+    algos = {i: KSelection(i, k, R) for i in range(1, n + 1)}
+    sim = Simulator(algos, adversary, max_slot_length=R)
+    sim.run(
+        max_events=max_events,
+        stop_when=lambda s: all(a.is_done for a in algos.values()),
+    )
+    return sim, algos
+
+
+class TestCorrectness:
+    def test_k1_degenerates_to_sst(self):
+        sim, algos = run_selection(5, 1, 2, worst_case_for(2))
+        ranks = [a.rank for a in algos.values() if a.rank is not None]
+        assert ranks == [1]
+
+    @pytest.mark.parametrize(
+        "n,k,R,adversary",
+        [
+            (6, 3, 2, worst_case_for(2)),
+            (5, 2, 1, Synchronous()),
+            (4, 4, 2, PerStationFixed({1: 1, 2: "3/2", 3: 2, 4: "5/4"})),
+            (8, 5, 3, worst_case_for(3)),
+        ],
+    )
+    def test_exactly_k_distinct_ranks(self, n, k, R, adversary):
+        sim, algos = run_selection(n, k, R, adversary)
+        assert all(a.is_done for a in algos.values())
+        ranked = {i: a.rank for i, a in algos.items() if a.rank is not None}
+        assert sorted(ranked.values()) == list(range(1, k + 1))
+        assert len(ranked) == k  # distinct stations
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_schedules(self, seed):
+        sim, algos = run_selection(6, 3, 2, RandomUniform(2, seed=seed))
+        ranked = {i: a.rank for i, a in algos.items() if a.rank is not None}
+        assert sorted(ranked.values()) == [1, 2, 3]
+
+    def test_everyone_agrees_on_win_count(self):
+        sim, algos = run_selection(6, 3, 2, worst_case_for(2))
+        assert {a.wins_observed for a in algos.values()} == {3}
+
+    def test_selecting_everyone(self):
+        sim, algos = run_selection(4, 4, 2, worst_case_for(2))
+        assert all(a.selected for a in algos.values())
+
+
+class TestCost:
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_within_k_abs_budgets(self, k):
+        n, R = 8, 2
+        sim, _ = run_selection(n, k, R, worst_case_for(R))
+        assert sim.max_slots_elapsed() <= k * abs_slot_upper_bound(n, R) + 8 * k
+
+    def test_cost_grows_with_k(self):
+        n, R = 6, 2
+        slots = {}
+        for k in (1, 3, 5):
+            sim, _ = run_selection(n, k, R, worst_case_for(R))
+            slots[k] = sim.max_slots_elapsed()
+        assert slots[1] < slots[3] < slots[5]
+
+
+class TestValidation:
+    def test_k_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KSelection(1, 0, 2)
+
+    def test_winner_stops_transmitting(self):
+        sim, algos = run_selection(5, 2, 2, worst_case_for(2))
+        # The rank-1 station's transmissions all precede rank-2's win.
+        first = next(i for i, a in algos.items() if a.rank == 1)
+        records = [
+            t for t in sim.channel.live_records if t.station_id == first
+        ]
+        successes = sorted(
+            (t.interval.end for t in sim.channel.live_records if t.successful),
+        )
+        assert len(successes) >= 2
+        # No transmission of the first winner after its own success.
+        first_win = min(
+            t.interval.end
+            for t in sim.channel.live_records
+            if t.successful and t.station_id == first
+        )
+        assert all(t.interval.end <= first_win for t in records)

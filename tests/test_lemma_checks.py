@@ -1,0 +1,173 @@
+"""Tests for the executable ABS lemma checks."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import (
+    check_all_lemmas,
+    check_lemma1_phase_alignment,
+    check_lemma2_liveness,
+    check_lemma3_bit_groups,
+    check_lemma4_no_disjoint_transmissions,
+    run_instrumented_election,
+)
+from repro.analysis.lemma_checks import (
+    ElectionRecord,
+    PhaseEntry,
+    PhaseTransmission,
+)
+from repro.core import make_interval
+from repro.timing import (
+    PerStationFixed,
+    RandomUniform,
+    Synchronous,
+    worst_case_for,
+)
+
+
+def record(n=2, r=2, **kwargs):
+    return ElectionRecord(
+        n=n, max_slot_length=Fraction(r), realized_r=Fraction(r), **kwargs
+    )
+
+
+class TestLemma1Unit:
+    def test_aligned_entries_pass(self):
+        rec = record()
+        rec.entries = [
+            PhaseEntry(1, 0, Fraction(0)),
+            PhaseEntry(2, 0, Fraction(1)),
+        ]
+        assert check_lemma1_phase_alignment(rec) == []
+
+    def test_misaligned_entries_flagged(self):
+        rec = record()
+        rec.entries = [
+            PhaseEntry(1, 3, Fraction(0)),
+            PhaseEntry(2, 3, Fraction(100)),
+        ]
+        violations = check_lemma1_phase_alignment(rec)
+        assert violations and violations[0].lemma == "Lemma 1"
+
+    def test_spread_exactly_2r_allowed(self):
+        rec = record(r=2)
+        rec.entries = [
+            PhaseEntry(1, 0, Fraction(0)),
+            PhaseEntry(2, 0, Fraction(4)),
+        ]
+        assert check_lemma1_phase_alignment(rec) == []
+
+
+class TestLemma2Unit:
+    def test_winner_satisfies(self):
+        rec = record()
+        rec.winner = 1
+        rec.eliminations = {2: (0, Fraction(5))}
+        assert check_lemma2_liveness(rec) == []
+
+    def test_all_dead_no_winner_flagged(self):
+        rec = record()
+        rec.eliminations = {1: (0, Fraction(5)), 2: (0, Fraction(6))}
+        violations = check_lemma2_liveness(rec)
+        assert violations and violations[0].lemma == "Lemma 2"
+
+    def test_still_running_satisfies(self):
+        rec = record()
+        rec.eliminations = {1: (0, Fraction(5))}
+        assert check_lemma2_liveness(rec) == []
+
+
+class TestLemma3Unit:
+    def test_bit1_survivor_flagged(self):
+        # Phase 0: station 2 (bit 0) and station 1 (bit 1) both alive;
+        # station 1 entering phase 1 violates Lemma 3.
+        rec = record()
+        rec.entries = [
+            PhaseEntry(1, 0, Fraction(0)),
+            PhaseEntry(2, 0, Fraction(0)),
+            PhaseEntry(1, 1, Fraction(50)),
+        ]
+        violations = check_lemma3_bit_groups(rec)
+        assert violations and "bit-1 stations [1]" in violations[0].detail
+
+    def test_bit1_eliminated_passes(self):
+        rec = record()
+        rec.entries = [
+            PhaseEntry(1, 0, Fraction(0)),
+            PhaseEntry(2, 0, Fraction(0)),
+            PhaseEntry(2, 1, Fraction(50)),
+        ]
+        assert check_lemma3_bit_groups(rec) == []
+
+    def test_single_group_unconstrained(self):
+        # Both stations have bit 1 at phase 0 (ids 1 and 3): Lemma 3
+        # says nothing.
+        rec = record(n=3)
+        rec.entries = [
+            PhaseEntry(1, 0, Fraction(0)),
+            PhaseEntry(3, 0, Fraction(0)),
+            PhaseEntry(1, 1, Fraction(40)),
+            PhaseEntry(3, 1, Fraction(40)),
+        ]
+        assert check_lemma3_bit_groups(rec) == []
+
+
+class TestLemma4Unit:
+    def test_overlapping_transmissions_pass(self):
+        rec = record()
+        rec.transmissions = [
+            PhaseTransmission(1, 0, make_interval(10, 12)),
+            PhaseTransmission(2, 0, make_interval(11, 13)),
+        ]
+        assert check_lemma4_no_disjoint_transmissions(rec) == []
+
+    def test_disjoint_same_phase_flagged(self):
+        rec = record()
+        rec.transmissions = [
+            PhaseTransmission(1, 0, make_interval(10, 11)),
+            PhaseTransmission(2, 0, make_interval(20, 21)),
+        ]
+        violations = check_lemma4_no_disjoint_transmissions(rec)
+        assert violations and violations[0].lemma == "Lemma 4"
+
+    def test_disjoint_across_phases_allowed(self):
+        rec = record()
+        rec.transmissions = [
+            PhaseTransmission(1, 0, make_interval(10, 11)),
+            PhaseTransmission(2, 1, make_interval(20, 21)),
+        ]
+        assert check_lemma4_no_disjoint_transmissions(rec) == []
+
+
+class TestInstrumentedElections:
+    @pytest.mark.parametrize(
+        "n,R,adversary,r",
+        [
+            (4, 1, Synchronous(), 1),
+            (5, 2, PerStationFixed({1: 1, 2: "3/2", 3: 2, 4: "5/4", 5: "7/4"}), 2),
+            (8, 2, worst_case_for(2), 2),
+            (6, 3, worst_case_for(3), 3),
+        ],
+    )
+    def test_all_lemmas_hold_on_real_executions(self, n, R, adversary, r):
+        rec = run_instrumented_election(n, R, adversary, realized_r=r)
+        assert rec.winner is not None
+        assert check_all_lemmas(rec) == []
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_all_lemmas_hold_on_random_schedules(self, seed):
+        rec = run_instrumented_election(
+            6, 2, RandomUniform(2, seed=seed), realized_r=2
+        )
+        assert rec.winner is not None
+        assert check_all_lemmas(rec) == []
+
+    def test_record_contains_full_story(self):
+        rec = run_instrumented_election(5, 2, worst_case_for(2), realized_r=2)
+        assert rec.first_success_end is not None
+        # n-1 eliminations + 1 winner account for everyone.
+        assert len(rec.eliminations) == 4
+        assert rec.transmissions  # at least the winning transmission
+        assert 0 in rec.entries_by_phase()  # everyone entered phase 0
+        assert len(rec.entries_by_phase()[0]) == 5

@@ -1,0 +1,141 @@
+"""Tests for the Theorem 2 mirror-execution adversary."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import ABSLeaderElection
+from repro.analysis import abs_slot_upper_bound, sst_lower_bound_slots
+from repro.core import ConfigurationError
+from repro.lowerbounds import run_mirror_adversary, verify_mirror_execution
+from repro.lowerbounds.mirror import _block_lengths, _block_signature
+
+
+class TestBlockSignature:
+    def test_all_listen(self):
+        assert _block_signature([0, 0, 0, 0], r=4) == 1
+
+    def test_all_transmit_gets_r_offset(self):
+        assert _block_signature([1, 1, 1, 1], r=4) == 1 + 4
+
+    def test_alternating(self):
+        assert _block_signature([0, 1, 0, 1], r=4) == 4
+
+    def test_starting_with_one(self):
+        assert _block_signature([1, 0, 0, 1], r=4) == 3 + 4
+
+    def test_range_is_one_to_2r(self):
+        r = 3
+        import itertools
+
+        values = {
+            _block_signature(bits, r)
+            for bits in itertools.product([0, 1], repeat=r)
+        }
+        assert min(values) >= 1 and max(values) <= 2 * r
+
+
+class TestBlockLengths:
+    def test_single_block_stretches_to_r(self):
+        lengths = _block_lengths([0, 0, 0, 0], r=4)
+        assert lengths == [Fraction(1)] * 4  # 4 slots * 1 = 4 = r
+
+    def test_two_blocks_each_total_r(self):
+        lengths = _block_lengths([0, 0, 1, 1], r=4)
+        assert lengths == [Fraction(2)] * 4  # each block: 2 slots * 2 = 4
+
+    def test_uneven_blocks(self):
+        lengths = _block_lengths([0, 1, 1, 1], r=4)
+        assert lengths[0] == Fraction(4)
+        assert lengths[1:] == [Fraction(4, 3)] * 3
+
+    def test_all_lengths_within_one_to_r(self):
+        import itertools
+
+        r = 4
+        for bits in itertools.product([0, 1], repeat=r):
+            for length in _block_lengths(list(bits), r):
+                assert 1 <= length <= r
+
+    def test_totals_are_r_per_block(self):
+        lengths = _block_lengths([0, 1, 0, 0, 1, 1], r=6)
+        assert sum(lengths) == 6 * 4  # 4 maximal blocks, each stretched to r
+
+
+class TestAdversaryAgainstAbs:
+    def test_meets_formula_lower_bound(self):
+        n, r = 64, 4
+        result = run_mirror_adversary(
+            lambda sid: ABSLeaderElection(sid, r), n, r
+        )
+        assert result.slots_forced >= sst_lower_bound_slots(n, r)
+
+    def test_never_exceeds_abs_upper_bound(self):
+        # Consistency: the adversary cannot delay ABS beyond Theorem 1.
+        for n, r in [(8, 2), (32, 4), (64, 4)]:
+            result = run_mirror_adversary(
+                lambda sid: ABSLeaderElection(sid, r), n, r
+            )
+            assert result.slots_forced <= abs_slot_upper_bound(n, r)
+
+    def test_survivor_counts_shrink_geometrically_at_worst(self):
+        n, r = 128, 4
+        result = run_mirror_adversary(
+            lambda sid: ABSLeaderElection(sid, r), n, r
+        )
+        for phase in result.phases:
+            assert phase.alive_after >= phase.alive_before // (2 * r)
+
+    def test_schedule_lengths_legal(self):
+        result = run_mirror_adversary(
+            lambda sid: ABSLeaderElection(sid, 4), 16, 4
+        )
+        for lengths in result.schedule.values():
+            assert all(1 <= length <= 4 for length in lengths)
+            assert len(lengths) == result.slots_forced
+
+    def test_equal_duration_schedules(self):
+        # Phases are time-aligned: every survivor's total duration match.
+        result = run_mirror_adversary(
+            lambda sid: ABSLeaderElection(sid, 4), 16, 4
+        )
+        totals = {sum(lengths, Fraction(0)) for lengths in result.schedule.values()}
+        assert len(totals) == 1
+
+    @pytest.mark.parametrize("n,r", [(8, 2), (16, 2), (16, 4), (64, 4)])
+    def test_realized_execution_has_no_success(self, n, r):
+        factory = lambda sid: ABSLeaderElection(sid, r)  # noqa: E731
+        result = run_mirror_adversary(factory, n, r)
+        sim = verify_mirror_execution(factory, result)
+        assert sim.channel.count_successes_up_to(sim.now) == 0
+
+
+class TestAdversaryAgainstGreedy:
+    """Against a naive 'transmit immediately' contender the adversary
+    keeps everyone colliding forever (capped by max_phases)."""
+
+    def test_greedy_transmitters_never_separate(self):
+        from repro.core import StationAlgorithm, TRANSMIT_CONTROL
+
+        class Greedy(StationAlgorithm):
+            uses_control_messages = True
+
+            def first_action(self, ctx):
+                return TRANSMIT_CONTROL
+
+            def on_slot_end(self, ctx):
+                return TRANSMIT_CONTROL
+
+        result = run_mirror_adversary(lambda sid: Greedy(), 8, 2, max_phases=50)
+        assert len(result.phases) == 50  # never separated
+        assert len(result.survivors) == 8  # all share the same signature
+
+
+class TestValidation:
+    def test_r_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_mirror_adversary(lambda sid: ABSLeaderElection(sid, 1), 4, 1)
+
+    def test_single_station_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_mirror_adversary(lambda sid: ABSLeaderElection(sid, 2), 1, 2)

@@ -1,0 +1,114 @@
+"""Tests for the empirical MSR (max stable rate) estimator."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import SlottedAloha
+from repro.analysis import estimate_msr, run_at_rate
+from repro.timing import Synchronous, worst_case_for
+
+from .helpers import make_ca
+
+
+class TestRunAtRate:
+    def test_low_rate_verdict_stable(self):
+        trial = run_at_rate(
+            make_ca(3, 2),
+            worst_case_for(2),
+            max_slot_length=2,
+            rho="3/10",
+            horizon=6000,
+            assumed_cost=2,
+        )
+        assert trial.stable
+        assert trial.rho == Fraction(3, 10)
+
+    def test_overload_verdict_unstable(self):
+        # rho in *cost* units with assumed_cost=1 but R=2 slots means
+        # real demand above capacity when rho > utilization ceiling.
+        trial = run_at_rate(
+            make_ca(3, 2),
+            worst_case_for(2),
+            max_slot_length=2,
+            rho="16/10",
+            horizon=6000,
+            assumed_cost=1,
+        )
+        assert not trial.stable
+
+
+class TestEstimateMSR:
+    def test_ca_arrow_msr_brackets_near_one(self):
+        estimate = estimate_msr(
+            lambda: make_ca(3, 2),
+            lambda: worst_case_for(2),
+            max_slot_length=2,
+            horizon=6000,
+            assumed_cost=2,
+            low="1/4",
+            high="3/2",
+            iterations=4,
+        )
+        assert estimate.lower >= Fraction(1, 4)
+        assert estimate.upper <= Fraction(3, 2)
+        assert Fraction(1, 2) < estimate.estimate
+        assert len(estimate.trials) >= 4
+
+    def test_aloha_msr_is_low(self):
+        n = 3
+
+        def algos():
+            return {
+                i: SlottedAloha(i, transmit_probability=1 / n, seed=2)
+                for i in range(1, n + 1)
+            }
+
+        estimate = estimate_msr(
+            algos,
+            Synchronous,
+            max_slot_length=1,
+            horizon=6000,
+            assumed_cost=1,
+            low="1/10",
+            high="9/10",
+            iterations=4,
+        )
+        # Classical slotted Aloha sits far below 1 (~1/e aggregate).
+        assert estimate.estimate < Fraction(7, 10)
+
+    def test_degenerate_bracket_when_low_unstable(self):
+        from repro.core import LISTEN, StationAlgorithm
+
+        class Mute(StationAlgorithm):
+            """Never transmits: unstable at every positive rate."""
+
+            def first_action(self, ctx):
+                return LISTEN
+
+            def on_slot_end(self, ctx):
+                return LISTEN
+
+        estimate = estimate_msr(
+            lambda: {1: Mute(), 2: Mute()},
+            Synchronous,
+            max_slot_length=1,
+            horizon=3000,
+            low="1/2",
+            high="9/10",
+            iterations=2,
+        )
+        assert estimate.lower == 0
+        assert estimate.upper == Fraction(1, 2)
+
+    def test_open_bracket_when_high_stable(self):
+        estimate = estimate_msr(
+            lambda: make_ca(2, 1),
+            Synchronous,
+            max_slot_length=1,
+            horizon=4000,
+            low="1/10",
+            high="2/5",
+            iterations=2,
+        )
+        assert estimate.lower == estimate.upper == Fraction(2, 5)

@@ -1,0 +1,137 @@
+"""Property-based tests for fault tolerance and the §VII extensions.
+
+Random crash points x random slot schedules x random workloads, with
+the invariants that must survive all of it:
+
+* FT-CA never collides, whatever crashes happen;
+* live stations' packets keep flowing as long as at least one station
+  survives;
+* DoublingABS and RandomizedSST never produce two winners;
+* the Crashable wrapper is exactly transparent before its crash point.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    CAArrow,
+    DoublingABS,
+    FaultTolerantCAArrow,
+    RandomizedSST,
+)
+from repro.arrivals import UniformRate
+from repro.core import Simulator
+from repro.faults import Crashable, crash_fleet
+from repro.timing import RandomUniform
+
+
+@given(
+    crash_station=st.integers(min_value=1, max_value=4),
+    crash_slot=st.integers(min_value=0, max_value=120),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=25, deadline=None)
+def test_ft_ca_collision_free_under_any_single_crash(
+    crash_station, crash_slot, seed
+):
+    n, R = 4, 2
+    fleet = crash_fleet(
+        {i: FaultTolerantCAArrow(i, n, R) for i in range(1, n + 1)},
+        {crash_station: crash_slot},
+    )
+    live = [i for i in range(1, n + 1) if i != crash_station]
+    source = UniformRate(rho="1/4", targets=live, assumed_cost=R)
+    sim = Simulator(fleet, RandomUniform(R, seed=seed), R, arrival_source=source)
+    sim.run(until_time=3000)
+    assert sim.channel.stats.collisions == 0
+
+
+@given(
+    crash_slots=st.lists(
+        st.integers(min_value=0, max_value=80), min_size=2, max_size=2
+    ),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=15, deadline=None)
+def test_ft_ca_delivers_with_two_crashes(crash_slots, seed):
+    n, R = 4, 2
+    crashes = {2: crash_slots[0], 3: crash_slots[1]}
+    fleet = crash_fleet(
+        {i: FaultTolerantCAArrow(i, n, R) for i in range(1, n + 1)}, crashes
+    )
+    source = UniformRate(rho="1/5", targets=[1, 4], assumed_cost=R)
+    sim = Simulator(fleet, RandomUniform(R, seed=seed), R, arrival_source=source)
+    sim.run(until_time=8000)
+    assert sim.channel.stats.collisions == 0
+    assert len(sim.delivered_packets) > 50
+
+
+@given(
+    crash_slot=st.integers(min_value=1, max_value=50),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=20, deadline=None)
+def test_crashable_transparent_before_crash(crash_slot, seed):
+    """Identical prefixes: a wrapped fleet behaves exactly like an
+    unwrapped one up to the crash point."""
+    n, R = 3, 2
+
+    def run(wrapped):
+        algos = {i: CAArrow(i, n, R) for i in range(1, n + 1)}
+        if wrapped:
+            algos = {
+                sid: Crashable(algo, crash_at_slot=crash_slot + 1000)
+                for sid, algo in algos.items()
+            }
+        source = UniformRate(rho="1/3", targets=[1, 2, 3], assumed_cost=R)
+        sim = Simulator(
+            algos, RandomUniform(R, seed=seed), R, arrival_source=source
+        )
+        sim.run(max_events=3 * crash_slot)  # all well before any crash
+        return (
+            len(sim.delivered_packets),
+            sim.total_backlog,
+            sim.channel.stats.transmissions,
+        )
+
+    assert run(False) == run(True)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_doubling_abs_never_two_winners(seed):
+    n, r = 5, 3
+    algos = {i: DoublingABS(i, n) for i in range(1, n + 1)}
+    sim = Simulator(algos, RandomUniform(r, seed=seed), max_slot_length=r)
+    sim.run(
+        max_events=2_000_000,
+        stop_when=lambda s: all(a.is_done for a in algos.values()),
+    )
+    winners = [i for i, a in algos.items() if a.outcome == "won"]
+    assert len(winners) <= 1
+    if all(a.is_done for a in algos.values()):
+        assert len(winners) == 1
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    probability_percent=st.integers(min_value=10, max_value=90),
+)
+@settings(max_examples=20, deadline=None)
+def test_randomized_sst_never_two_winners(seed, probability_percent):
+    n, R = 5, 2
+    algos = {
+        i: RandomizedSST(
+            i, transmit_probability=probability_percent / 100, seed=seed
+        )
+        for i in range(1, n + 1)
+    }
+    sim = Simulator(algos, RandomUniform(R, seed=seed + 1), max_slot_length=R)
+    sim.run(
+        max_events=300_000,
+        stop_when=lambda s: all(a.is_done for a in algos.values()),
+    )
+    winners = [i for i, a in algos.items() if a.outcome == "won"]
+    assert len(winners) <= 1

@@ -1,0 +1,133 @@
+"""Property-based end-to-end invariants of the paper's protocols.
+
+Randomized-but-reproducible slot schedules and workloads, asserting the
+theorem-level invariants on every generated execution:
+
+* ABS elects exactly one winner, within the Theorem 1 slot bound;
+* CA-ARRoW never collides (Theorem 6's defining property);
+* packet conservation: injected = delivered + queued, costs within
+  ``[1, R]``, deliveries time-ordered.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import ABSLeaderElection, CAArrow
+from repro.analysis import abs_slot_upper_bound
+from repro.arrivals import UniformRate
+from repro.core import Simulator
+from repro.timing import CyclicPattern, RandomUniform
+
+# Per-station cyclic slot patterns over quarter-integers in [1, 2].
+_quarter_lengths = st.integers(min_value=4, max_value=8).map(
+    lambda k: Fraction(k, 4)
+)
+_patterns = st.lists(_quarter_lengths, min_size=1, max_size=4)
+
+
+@st.composite
+def slot_adversaries(draw, n):
+    patterns = {
+        sid: tuple(draw(_patterns)) for sid in range(1, n + 1)
+    }
+    return CyclicPattern(patterns)
+
+
+@given(st.integers(min_value=2, max_value=9), st.data())
+@settings(max_examples=40, deadline=None)
+def test_abs_unique_winner_under_arbitrary_patterns(n, data):
+    R = 2
+    adversary = data.draw(slot_adversaries(n))
+    algos = {i: ABSLeaderElection(i, R) for i in range(1, n + 1)}
+    sim = Simulator(algos, adversary, max_slot_length=R)
+    end = sim.run_until_success(max_events=400_000)
+    assert end is not None, "ABS failed to elect under this schedule"
+    assert sim.max_slots_elapsed() <= abs_slot_upper_bound(n, R)
+    # Let everyone terminate, then check uniqueness.
+    sim.run(
+        max_events=sim.events_processed + 4000,
+        stop_when=lambda s: all(a.is_done for a in algos.values()),
+    )
+    winners = [i for i, a in algos.items() if a.outcome == "won"]
+    assert len(winners) == 1
+
+
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=0, max_value=10_000),
+    st.sampled_from(["3/10", "1/2", "7/10"]),
+)
+@settings(max_examples=30, deadline=None)
+def test_ca_arrow_collision_free_everywhere(n, seed, rho):
+    R = 2
+    algos = {i: CAArrow(i, n, R) for i in range(1, n + 1)}
+    source = UniformRate(
+        rho=rho, targets=list(range(1, n + 1)), assumed_cost=R
+    )
+    sim = Simulator(
+        algos,
+        RandomUniform(R, seed=seed),
+        max_slot_length=R,
+        arrival_source=source,
+    )
+    sim.run(until_time=1200)
+    assert sim.channel.stats.collisions == 0
+    assert all(sim.algorithm(i).stats.unexpected_busy == 0 for i in sim.station_ids)
+
+
+@given(
+    st.integers(min_value=2, max_value=5),
+    st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=30, deadline=None)
+def test_packet_conservation_and_cost_range(n, seed):
+    R = 2
+    algos = {i: CAArrow(i, n, R) for i in range(1, n + 1)}
+    source = UniformRate(
+        rho="1/2", targets=list(range(1, n + 1)), assumed_cost=R
+    )
+    sim = Simulator(
+        algos,
+        RandomUniform(R, seed=seed),
+        max_slot_length=R,
+        arrival_source=source,
+    )
+    sim.run(until_time=800)
+    delivered = sim.delivered_packets
+    queued = sum(sim.queue_size(i) for i in sim.station_ids)
+    pending = sim.total_backlog - queued  # injected, not yet visible
+    assert pending >= 0
+    assert len(delivered) + sim.total_backlog == len(delivered) + queued + pending
+    # Costs are realized slot durations: within [1, R].
+    for packet in delivered:
+        assert 1 <= packet.cost <= R
+        assert packet.delivered_time > packet.arrival_time
+    # Deliveries are time-ordered (the channel serializes successes).
+    times = [p.delivered_time for p in delivered]
+    assert times == sorted(times)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_queue_sizes_never_negative_and_backlog_consistent(seed):
+    from repro.algorithms import AOArrow
+
+    n, R = 3, 2
+    algos = {i: AOArrow(i, n, R) for i in range(1, n + 1)}
+    source = UniformRate(rho="3/5", targets=[1, 2, 3], assumed_cost=R)
+    sim = Simulator(
+        algos,
+        RandomUniform(R, seed=seed),
+        max_slot_length=R,
+        arrival_source=source,
+    )
+    checkpoints = [200, 400, 600, 800]
+    for checkpoint in checkpoints:
+        sim.run(until_time=checkpoint)
+        queued = sum(sim.queue_size(i) for i in sim.station_ids)
+        assert 0 <= queued <= sim.total_backlog
+        for sid in sim.station_ids:
+            q = sim.stations[sid].queue
+            assert q.total_enqueued - q.total_delivered == len(q)

@@ -1,0 +1,90 @@
+"""Tests for the Theorem 5 rate-one instability harness."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import AOArrow, CAArrow, MBTFLike
+from repro.lowerbounds import UnitTransmitSlots, measure_rate_one_instability
+from repro.lowerbounds.rate_one import _least_squares_slope
+
+from .helpers import make_ao, make_ca
+
+
+class TestSlopeFit:
+    def test_flat_series(self):
+        samples = [(Fraction(t), 5) for t in range(10)]
+        assert _least_squares_slope(samples) == pytest.approx(0.0)
+
+    def test_linear_series(self):
+        samples = [(Fraction(t), 3 * t) for t in range(10)]
+        assert _least_squares_slope(samples) == pytest.approx(3.0)
+
+    def test_degenerate_series(self):
+        assert _least_squares_slope([]) == 0.0
+        assert _least_squares_slope([(Fraction(1), 4)]) == 0.0
+        assert _least_squares_slope([(Fraction(1), 1), (Fraction(1), 9)]) == 0.0
+
+
+class TestUnitTransmitSlots:
+    def test_costs_pinned_to_one(self):
+        from repro.arrivals import UniformRate
+        from repro.core import Simulator
+
+        n, R = 3, 2
+        src = UniformRate(rho="1/2", targets=[1, 2, 3], assumed_cost=1)
+        sim = Simulator(
+            make_ca(n, R),
+            UnitTransmitSlots(R),
+            max_slot_length=R,
+            arrival_source=src,
+        )
+        sim.run(until_time=2000)
+        assert sim.delivered_packets
+        assert all(p.cost == 1 for p in sim.delivered_packets)
+
+
+class TestTheorem5:
+    @pytest.mark.parametrize("make", [make_ao, make_ca])
+    def test_rate_one_destabilizes_arrow_algorithms(self, make):
+        report = measure_rate_one_instability(
+            make(3, 2), max_slot_length=2, horizon=4000
+        )
+        assert report.grew_unboundedly
+        assert report.final_backlog > 50
+
+    def test_rate_one_destabilizes_even_synchronous_token_ring(self):
+        algos = {i: MBTFLike(i, 3) for i in range(1, 4)}
+        report = measure_rate_one_instability(
+            algos, max_slot_length=1, horizon=4000
+        )
+        assert report.grew_unboundedly
+
+    def test_growth_scales_with_horizon(self):
+        short = measure_rate_one_instability(
+            make_ca(3, 2), max_slot_length=2, horizon=2000
+        )
+        long = measure_rate_one_instability(
+            make_ca(3, 2), max_slot_length=2, horizon=8000
+        )
+        assert long.final_backlog > 2 * short.final_backlog
+
+    @pytest.mark.parametrize("make", [make_ao, make_ca])
+    def test_control_run_below_one_is_stable(self, make):
+        # The same harness at rho = 3/4 must NOT report growth — the
+        # instability above is about the rate, not the harness.
+        report = measure_rate_one_instability(
+            make(3, 2), max_slot_length=2, horizon=8000, rho="3/4"
+        )
+        assert report.slope < 0.02
+        # AO-ARRoW's election/sync constants allow a sizeable but
+        # bounded standing backlog; the rate-one runs above blow far
+        # past this on the same horizon.
+        assert report.final_backlog < 200
+
+    def test_delivery_still_happens_at_rate_one(self):
+        # Instability is about backlog growth, not total starvation.
+        report = measure_rate_one_instability(
+            make_ca(3, 2), max_slot_length=2, horizon=4000
+        )
+        assert report.delivered > 1000

@@ -1,0 +1,100 @@
+"""Unit tests for the station-algorithm interface."""
+
+import pytest
+
+from repro.core import (
+    Action,
+    ActionKind,
+    AlwaysListen,
+    AlwaysTransmit,
+    Feedback,
+    LISTEN,
+    ProtocolError,
+    SlotContext,
+    StationAlgorithm,
+    TRANSMIT_CONTROL,
+    TRANSMIT_PACKET,
+)
+
+
+class TestAction:
+    def test_listen_singleton(self):
+        assert not LISTEN.is_transmit
+        assert LISTEN.kind is ActionKind.LISTEN
+
+    def test_transmit_packet(self):
+        assert TRANSMIT_PACKET.is_transmit and TRANSMIT_PACKET.carries_packet
+
+    def test_transmit_control(self):
+        assert TRANSMIT_CONTROL.is_transmit and not TRANSMIT_CONTROL.carries_packet
+
+    def test_actions_hashable_and_comparable(self):
+        assert Action(ActionKind.LISTEN) == LISTEN
+        assert len({LISTEN, TRANSMIT_PACKET, TRANSMIT_CONTROL}) == 3
+
+
+class TestBaseClassContract:
+    def test_abstract_methods_raise(self):
+        base = StationAlgorithm()
+        ctx = SlotContext(feedback=None, queue_size=0, slot_index=0)
+        with pytest.raises(NotImplementedError):
+            base.first_action(ctx)
+        with pytest.raises(NotImplementedError):
+            base.on_slot_end(ctx)
+
+    def test_default_flags(self):
+        assert StationAlgorithm.uses_control_messages is False
+        assert StationAlgorithm.collision_free_by_design is False
+        assert StationAlgorithm().is_done is False
+
+    def test_require_feedback_rejects_first_context(self):
+        algo = AlwaysListen()
+        ctx = SlotContext(feedback=None, queue_size=0, slot_index=0)
+        with pytest.raises(ProtocolError):
+            algo._require_feedback(ctx)
+
+    def test_require_feedback_passthrough(self):
+        algo = AlwaysListen()
+        ctx = SlotContext(feedback=Feedback.BUSY, queue_size=0, slot_index=1)
+        assert algo._require_feedback(ctx) is Feedback.BUSY
+
+
+class TestClone:
+    def test_clone_is_independent(self):
+        from repro.algorithms import AOArrow
+
+        original = AOArrow(1, 4, 2)
+        original.wait = 3
+        copy = original.clone()
+        copy.wait = 0
+        assert original.wait == 3
+
+    def test_clone_preserves_rng_stream(self):
+        from repro.algorithms import SlottedAloha
+
+        a = SlottedAloha(1, transmit_probability=0.5, seed=7)
+        b = a.clone()
+        ctx = SlotContext(feedback=Feedback.SILENCE, queue_size=1, slot_index=1)
+        first = a.first_action(SlotContext(feedback=None, queue_size=1, slot_index=0))
+        # The clone must replay the identical decision sequence.
+        assert b.first_action(
+            SlotContext(feedback=None, queue_size=1, slot_index=0)
+        ) == first
+        for _ in range(20):
+            assert a.on_slot_end(ctx) == b.on_slot_end(ctx)
+
+
+class TestTrivialAlgorithms:
+    def test_always_listen(self):
+        algo = AlwaysListen()
+        ctx0 = SlotContext(feedback=None, queue_size=5, slot_index=0)
+        ctx1 = SlotContext(feedback=Feedback.BUSY, queue_size=5, slot_index=1)
+        assert algo.first_action(ctx0) == LISTEN
+        assert algo.on_slot_end(ctx1) == LISTEN
+
+    def test_always_transmit_prefers_packets(self):
+        algo = AlwaysTransmit()
+        with_packets = SlotContext(feedback=Feedback.SILENCE, queue_size=1, slot_index=1)
+        without = SlotContext(feedback=Feedback.SILENCE, queue_size=0, slot_index=1)
+        assert algo.on_slot_end(with_packets) == TRANSMIT_PACKET
+        assert algo.on_slot_end(without) == TRANSMIT_CONTROL

@@ -1,0 +1,78 @@
+"""Unit tests for the trace recorder."""
+
+from fractions import Fraction
+
+from repro.core import (
+    Feedback,
+    LISTEN,
+    SlotRecord,
+    TRANSMIT_PACKET,
+    Trace,
+    make_interval,
+)
+
+
+def record(sid=1, index=0, a=0, b=1, transmit=False, feedback=Feedback.SILENCE):
+    return SlotRecord(
+        station_id=sid,
+        slot_index=index,
+        interval=make_interval(a, b),
+        action=TRANSMIT_PACKET if transmit else LISTEN,
+        feedback=feedback,
+        queue_size_after=0,
+    )
+
+
+class TestSlotRecording:
+    def test_disabled_by_default(self):
+        trace = Trace()
+        trace.on_slot(record())
+        assert trace.slots == []
+
+    def test_enabled_keeps_records(self):
+        trace = Trace(record_slots=True)
+        trace.on_slot(record(index=0))
+        trace.on_slot(record(index=1, a=1, b=2))
+        assert len(trace.slots) == 2
+
+    def test_slots_of_filters_by_station(self):
+        trace = Trace(record_slots=True)
+        trace.on_slot(record(sid=1))
+        trace.on_slot(record(sid=2))
+        assert [r.station_id for r in trace.slots_of(2)] == [2]
+
+    def test_transmissions_and_acked_selectors(self):
+        trace = Trace(record_slots=True)
+        trace.on_slot(record(transmit=True, feedback=Feedback.ACK))
+        trace.on_slot(record(feedback=Feedback.BUSY))
+        assert len(trace.transmissions()) == 1
+        assert len(trace.acked_slots()) == 1
+
+    def test_horizon(self):
+        trace = Trace(record_slots=True)
+        assert trace.horizon() == 0
+        trace.on_slot(record(a=0, b=3))
+        trace.on_slot(record(a=1, b=2))
+        assert trace.horizon() == 3
+
+
+class TestBacklogTracking:
+    def test_max_is_exact_regardless_of_stride(self):
+        trace = Trace(backlog_stride=100)
+        for k, value in enumerate([1, 5, 2, 9, 3]):
+            trace.on_backlog_change(Fraction(k), value)
+        assert trace.max_backlog == 9
+        assert len(trace.backlog) == 0  # stride swallowed all samples
+
+    def test_stride_one_records_everything(self):
+        trace = Trace(backlog_stride=1)
+        for k in range(5):
+            trace.on_backlog_change(Fraction(k), k)
+        assert len(trace.backlog) == 5
+        assert trace.backlog_series() == [(Fraction(k), k) for k in range(5)]
+
+    def test_stride_sampling(self):
+        trace = Trace(backlog_stride=2)
+        for k in range(6):
+            trace.on_backlog_change(Fraction(k), k)
+        assert len(trace.backlog) == 3

@@ -1,0 +1,80 @@
+"""Tests for the ASCII timeline renderers."""
+
+from fractions import Fraction
+
+from repro.algorithms import ABSLeaderElection
+from repro.analysis import segment_rounds
+from repro.arrivals import BurstyRate
+from repro.core import Simulator, Trace
+from repro.timing import PerStationFixed, worst_case_for
+from repro.viz import render_phases, render_timeline
+
+from .helpers import make_ao
+
+
+def abs_trace(R=2):
+    algos = {i: ABSLeaderElection(i, R) for i in (1, 2, 3)}
+    trace = Trace(record_slots=True)
+    sim = Simulator(
+        algos, PerStationFixed({1: 1, 2: "3/2", 3: 2}), max_slot_length=R, trace=trace
+    )
+    sim.run_until_success()
+    return sim, trace
+
+
+class TestRenderTimeline:
+    def test_contains_station_lanes_and_legend(self):
+        _, trace = abs_trace()
+        text = render_timeline(trace, width=60)
+        assert "s1" in text and "s2" in text and "s3" in text
+        assert "legend:" in text
+
+    def test_empty_trace_message(self):
+        assert "empty trace" in render_timeline(Trace(record_slots=True))
+
+    def test_station_filter(self):
+        _, trace = abs_trace()
+        text = render_timeline(trace, stations=[2], width=60)
+        assert "s2" in text and "s1" not in text
+
+    def test_window_clipping(self):
+        _, trace = abs_trace()
+        clipped = render_timeline(trace, start=0, end=2, width=40)
+        assert "s1" in clipped
+
+    def test_transmissions_rendered_with_transmit_glyphs(self):
+        sim, trace = abs_trace()
+        sim.run(max_events=sim.events_processed + 6)  # flush winner's record
+        text = render_timeline(trace, width=80)
+        assert "*" in text or "#" in text
+
+    def test_width_respected(self):
+        _, trace = abs_trace()
+        for line in render_timeline(trace, width=50).splitlines():
+            if line.startswith("legend:"):
+                continue  # the legend is prose, not a lane
+            assert len(line) <= 50 + 14  # label margin
+
+
+class TestRenderPhases:
+    def test_empty(self):
+        assert "no phases" in render_phases([])
+
+    def test_round_digits_and_counts(self):
+        n, R = 3, 2
+        src = BurstyRate(
+            rho="1/2", burst_size=3, targets=[1, 2, 3], assumed_cost=R, limit=12
+        )
+        sim = Simulator(
+            make_ao(n, R),
+            worst_case_for(R),
+            max_slot_length=R,
+            arrival_source=src,
+            trace=Trace(record_slots=True),
+            keep_channel_history=True,
+        )
+        sim.run(until_time=2500)
+        phases = segment_rounds(sim, silence_gap=30)
+        text = render_phases(phases, width=80)
+        assert "phases=" in text and "rounds=" in text
+        assert "[" in text
