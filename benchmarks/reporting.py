@@ -5,35 +5,119 @@ experiment index in DESIGN.md).  Tables are printed to stdout (the
 ``-s`` pytest default makes them land in ``bench_output.txt``) and
 mirrored into ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can
 reference stable artifacts.
+
+Each report is *also* mirrored into ``benchmarks/results/<name>.json``
+with the same values in machine-readable form, so bench trajectories
+can be diffed across PRs without parsing fixed-width text.  The lines
+returned by :func:`table` remember their structure (headers + cells);
+:func:`emit` collects every table block it is handed — however the
+caller concatenated title lines around it — and writes::
+
+    {
+      "name": "<report name>",
+      "preamble": ["title line", ...],
+      "tables": [{"headers": [...], "rows": [[...], ...]}, ...]
+    }
+
+Cells that are JSON-native (int/float/bool/str/None) are stored as-is;
+anything else (exact :class:`~fractions.Fraction` values, enums) is
+stored as the same string the text table prints.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
-from typing import Iterable, List, Sequence
+from typing import Any, Dict, Iterable, List, Sequence
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 
 
+class _TableBlock:
+    """Structured payload behind one rendered table."""
+
+    __slots__ = ("headers", "rows")
+
+    def __init__(self, headers: List[str], rows: List[List[Any]]) -> None:
+        self.headers = headers
+        self.rows = rows
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"headers": self.headers, "rows": self.rows}
+
+
+class _TableLine(str):
+    """A rendered table line that remembers the block it came from.
+
+    Being a plain ``str`` subclass keeps every existing call pattern
+    (``["title"] + table(...)``, joining, printing) working unchanged
+    while :func:`emit` can still recover the structure.
+    """
+
+    block: _TableBlock
+
+    def __new__(cls, text: str, block: _TableBlock) -> "_TableLine":
+        line = super().__new__(cls, text)
+        line.block = block
+        return line
+
+
+def _json_cell(cell: Any) -> Any:
+    """A cell as stored in the JSON mirror: native when possible."""
+    if cell is None or isinstance(cell, (bool, int, float, str)):
+        return cell
+    return str(cell)
+
+
 def emit(name: str, lines: Iterable[str]) -> str:
-    """Print a named report block and persist it under results/."""
+    """Print a named report block and persist it under results/.
+
+    Writes both ``results/<name>.txt`` (the exact text) and
+    ``results/<name>.json`` (the same values, machine-readable).
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
-    body = "\n".join(lines)
+    materialized = list(lines)
+    body = "\n".join(materialized)
     block = f"\n===== {name} =====\n{body}\n"
     print(block)
     (RESULTS_DIR / f"{name}.txt").write_text(body + "\n")
+
+    tables: List[_TableBlock] = []
+    preamble: List[str] = []
+    for line in materialized:
+        table_block = getattr(line, "block", None)
+        if table_block is None:
+            preamble.append(str(line))
+        elif not tables or tables[-1] is not table_block:
+            tables.append(table_block)
+    document = {
+        "name": name,
+        "preamble": preamble,
+        "tables": [t.to_dict() for t in tables],
+    }
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(document, indent=2, sort_keys=False) + "\n"
+    )
     return block
 
 
 def table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> List[str]:
-    """Fixed-width text table: headers + one line per row."""
-    materialized = [[str(cell) for cell in row] for row in rows]
+    """Fixed-width text table: headers + one line per row.
+
+    The returned lines carry the structured block for the JSON mirror.
+    """
+    raw_rows = [list(row) for row in rows]
+    materialized = [[str(cell) for cell in row] for row in raw_rows]
     widths = [len(h) for h in headers]
     for row in materialized:
         for index, cell in enumerate(row):
             widths[index] = max(widths[index], len(cell))
     def fmt(cells: Sequence[str]) -> str:
         return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+    block = _TableBlock(
+        headers=[str(h) for h in headers],
+        rows=[[_json_cell(cell) for cell in row] for row in raw_rows],
+    )
     lines = [fmt(list(headers)), fmt(["-" * width for width in widths])]
     lines.extend(fmt(row) for row in materialized)
-    return lines
+    return [_TableLine(line, block) for line in lines]

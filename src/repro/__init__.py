@@ -11,6 +11,7 @@ paper's algorithms and adversarial constructions:
 * :mod:`repro.algorithms` — ABS, AO-ARRoW, CA-ARRoW and baselines;
 * :mod:`repro.lowerbounds` — executable Theorems 2, 4 and 5;
 * :mod:`repro.analysis` — paper bounds, stability tests, MSR search;
+* :mod:`repro.obs` — probes, metrics, JSONL run artifacts, profiling;
 * :mod:`repro.viz` — ASCII schedule/phase timelines.
 
 Quickstart::
@@ -33,7 +34,7 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import algorithms, analysis, arrivals, core, faults, lowerbounds, timing, viz
+from . import algorithms, analysis, arrivals, core, faults, lowerbounds, obs, timing, viz
 
 __all__ = [
     "algorithms",
@@ -42,6 +43,7 @@ __all__ = [
     "core",
     "faults",
     "lowerbounds",
+    "obs",
     "timing",
     "viz",
     "__version__",

@@ -9,12 +9,16 @@ Four subcommands cover the repository's surface:
 * ``adversary`` — execute a theorem construction (Thm 2 mirror,
                   Thm 4 collision forcer, Thm 5 rate-one);
 * ``bounds``    — print every closed-form bound for given parameters;
-* ``diagram``   — print the Fig. 3/5/6 automata as text or Graphviz DOT.
+* ``diagram``   — print the Fig. 3/5/6 automata as text or Graphviz DOT;
+* ``stats``     — summarize a saved JSONL run artifact.
 
 Examples::
 
     python -m repro run --algorithm ca-arrow --n 4 --max-slot 2 \
         --rho 1/2 --horizon 5000 --schedule worst
+    python -m repro run --algorithm ao-arrow --n 4 --horizon 50000 \
+        --metrics --emit-jsonl out.jsonl --progress 10000
+    python -m repro stats out.jsonl
     python -m repro sst --algorithm abs --n 16 --max-slot 2 --schedule random --seed 7
     python -m repro adversary mirror --n 64 --realized-r 4
     python -m repro bounds --n 8 --max-slot 2 --rho 3/4 --burstiness 2
@@ -56,6 +60,16 @@ from .lowerbounds import (
     measure_rate_one_instability,
     run_mirror_adversary,
     verify_mirror_execution,
+)
+from .obs import (
+    JsonlRunWriter,
+    PhaseProfiler,
+    ProbeBus,
+    ProgressReporter,
+    RunManifest,
+    SimulationMetrics,
+    render_summary,
+    summarize_run,
 )
 from .timing import RandomUniform, Synchronous, worst_case_for
 
@@ -101,11 +115,46 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     else:
         source = UniformRate(rho=args.rho, targets=targets, assumed_cost=max_slot)
+
+    observing = args.metrics or args.emit_jsonl or args.progress
+    bus = ProbeBus() if observing else None
+    sim_metrics = None
+    writer = None
+    if args.metrics or args.emit_jsonl:
+        sim_metrics = SimulationMetrics()
+        sim_metrics.attach(bus)
+    if args.emit_jsonl:
+        manifest = RunManifest.create(
+            command="run",
+            algorithm=args.algorithm,
+            n=args.n,
+            max_slot_length=max_slot,
+            rho=args.rho,
+            burst=args.burst,
+            schedule=args.schedule,
+            seed=args.seed,
+            horizon=args.horizon,
+        )
+        try:
+            writer = JsonlRunWriter(
+                args.emit_jsonl, manifest, metrics=sim_metrics
+            ).attach(bus)
+        except OSError as exc:
+            raise SystemExit(f"cannot write {args.emit_jsonl!r}: {exc}") from None
+    if args.progress:
+        if args.progress < 1:
+            raise SystemExit(f"--progress must be >= 1, got {args.progress}")
+        # The user picked the cadence explicitly; don't rate-limit it away.
+        ProgressReporter(every_events=args.progress, min_interval_s=0.0).attach(bus)
+    profiler = PhaseProfiler() if args.profile else None
+
     sim = Simulator(
         fleet, schedule, max_slot_length=max_slot, arrival_source=source,
-        trace=Trace(backlog_stride=8),
+        trace=Trace(backlog_stride=8), probes=bus, profiler=profiler,
     )
     sim.run(until_time=args.horizon)
+    if writer is not None:
+        writer.close(sim=sim)
     metrics = collect_metrics(sim)
     print(f"algorithm={args.algorithm} n={args.n} R={max_slot} "
           f"rho={args.rho} schedule={args.schedule} horizon={args.horizon}")
@@ -116,6 +165,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"  throughput:     {float(metrics.throughput_cost):.4f} cost/time")
     if metrics.mean_latency is not None:
         print(f"  mean latency:   {float(metrics.mean_latency):.2f}")
+    if sim_metrics is not None and args.metrics:
+        print("metrics:")
+        for line in sim_metrics.render():
+            print(f"  {line}")
+    if profiler is not None:
+        print("profile:")
+        for line in profiler.render():
+            print(f"  {line}")
+    if writer is not None:
+        print(f"artifact:         {writer.path}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .obs import load_run
+
+    try:
+        artifact = load_run(args.artifact)
+    except OSError as exc:
+        raise SystemExit(f"cannot read {args.artifact!r}: {exc}") from None
+    if artifact.manifest is None and not artifact.records:
+        raise SystemExit(
+            f"{args.artifact!r} is not a repro run artifact "
+            "(no manifest or event records; expected a --emit-jsonl file)"
+        )
+    stats = summarize_run(artifact)
+    for line in render_summary(stats):
+        print(line)
     return 0
 
 
@@ -258,7 +335,19 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--horizon", default="5000")
     run_p.add_argument("--schedule", default="worst")
     run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--metrics", action="store_true",
+                       help="attach the metric instruments and print them")
+    run_p.add_argument("--emit-jsonl", metavar="PATH",
+                       help="stream a manifest + per-event JSONL artifact")
+    run_p.add_argument("--profile", action="store_true",
+                       help="report wall time per simulator phase")
+    run_p.add_argument("--progress", type=int, metavar="N", default=0,
+                       help="print a progress line every N slot events")
     run_p.set_defaults(handler=_cmd_run)
+
+    stats_p = sub.add_parser("stats", help="summarize a saved JSONL run")
+    stats_p.add_argument("artifact", help="path to a --emit-jsonl artifact")
+    stats_p.set_defaults(handler=_cmd_stats)
 
     sst_p = sub.add_parser("sst", help="leader election / SST")
     sst_p.add_argument("--algorithm", default="abs")

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import List, Optional
 
+from ..obs.probes import CollisionEvent
 from .errors import SimulationError
 from .packet import Packet
 from .timebase import Interval, Time
@@ -84,10 +85,18 @@ class Channel:
     exact (successes are folded into the stats as records are pruned).
     """
 
-    def __init__(self, max_transmission_duration: Optional[Fraction] = None) -> None:
+    def __init__(
+        self,
+        max_transmission_duration: Optional[Fraction] = None,
+        probes=None,
+    ) -> None:
         self._transmissions: List[Transmission] = []
         self._pruned_success_count = 0
         self.stats = ChannelStats()
+        #: Optional :class:`~repro.obs.probes.ProbeBus`; the channel
+        #: fires one ``collision`` event per transmission that becomes
+        #: overlapped (same counting as ``stats.collisions``).
+        self.probes = probes
         #: End time of the first successful transmission observed so
         #: far.  For runs that prune in time order this is exact.
         self.first_success_end: Optional[Time] = None
@@ -141,15 +150,29 @@ class Channel:
                 if not other.overlapped:
                     other.overlapped = True
                     self.stats.collisions += 1
+                    self._probe_collision(other)
                 if not record.overlapped:
                     record.overlapped = True
                     self.stats.collisions += 1
+                    self._probe_collision(record)
         self._transmissions.append(record)
         self.stats.transmissions += 1
         self.stats.busy_time += interval.duration
         if packet is None:
             self.stats.control_transmissions += 1
         return record
+
+    def _probe_collision(self, transmission: Transmission) -> None:
+        """Fire one ``collision`` probe event for a newly overlapped record."""
+        probes = self.probes
+        if probes is not None and probes.collision:
+            event = CollisionEvent(
+                station_id=transmission.station_id,
+                interval=transmission.interval,
+                is_control=transmission.is_control,
+            )
+            for callback in probes.collision:
+                callback(event)
 
     # ------------------------------------------------------------------
     # Feedback

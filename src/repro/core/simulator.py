@@ -22,8 +22,17 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 from fractions import Fraction
+from time import perf_counter
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..obs.probes import (
+    ArrivalEvent,
+    DeliveryEvent,
+    FeedbackEvent,
+    ProbeBus,
+    SlotBeginEvent,
+    SlotEndEvent,
+)
 from .channel import Channel
 from .errors import ConfigurationError, ProtocolError, SimulationError
 from .feedback import Feedback
@@ -79,6 +88,15 @@ class Simulator:
             transmission record survives the run — required by post-hoc
             analyses that walk the success record (phase segmentation,
             figure rendering).  Leave off for long stability runs.
+        probes: Optional :class:`~repro.obs.probes.ProbeBus`.  The
+            simulator fires ``slot_begin`` / ``slot_end`` / ``feedback``
+            / ``arrival`` / ``delivery`` events on it (and the channel
+            fires ``collision``); with no bus — or a bus nobody
+            subscribed to — the per-slot cost is a single attribute
+            check per probe point.
+        profiler: Optional :class:`~repro.obs.profiling.PhaseProfiler`;
+            when present, wall time of adversary calls, channel feedback
+            resolution and algorithm steps is attributed per phase.
     """
 
     def __init__(
@@ -90,6 +108,8 @@ class Simulator:
         initial_packets: int = 0,
         trace: Optional[Trace] = None,
         keep_channel_history: bool = False,
+        probes: Optional[ProbeBus] = None,
+        profiler=None,
     ) -> None:
         self.keep_channel_history = keep_channel_history
         if isinstance(algorithms, Mapping):
@@ -109,7 +129,11 @@ class Simulator:
             )
         self.slot_adversary = slot_adversary
         self.arrival_source = arrival_source
-        self.channel = Channel(max_transmission_duration=self.max_slot_length)
+        self.probes = probes
+        self.profiler = profiler
+        self.channel = Channel(
+            max_transmission_duration=self.max_slot_length, probes=probes
+        )
         self.trace = trace if trace is not None else Trace()
 
         self.stations: Dict[int, StationRuntime] = {
@@ -181,6 +205,16 @@ class Simulator:
         self._pending_arrivals[station_id].append(packet)
         self._total_backlog += 1
         self.trace.on_backlog_change(at, self._total_backlog)
+        probes = self.probes
+        if probes is not None and probes.arrival:
+            event = ArrivalEvent(
+                packet_id=packet.packet_id,
+                station_id=station_id,
+                at=at,
+                backlog=self._total_backlog,
+            )
+            for callback in probes.arrival:
+                callback(event)
         return packet
 
     def _pump_arrivals(self, upto: Time) -> None:
@@ -244,12 +278,18 @@ class Simulator:
         # lengths, so ``runtime.action`` must already describe the slot
         # being opened (slot_start/end still describe the previous one).
         runtime.action = action
-        length = check_slot_length(
-            self.slot_adversary.next_slot_length(
+        profiler = self.profiler
+        if profiler is None:
+            raw_length = self.slot_adversary.next_slot_length(
                 self, runtime.station_id, runtime.slot_index + 1
-            ),
-            self.max_slot_length,
-        )
+            )
+        else:
+            began = perf_counter()
+            raw_length = self.slot_adversary.next_slot_length(
+                self, runtime.station_id, runtime.slot_index + 1
+            )
+            profiler.add("adversary", perf_counter() - began)
+        length = check_slot_length(raw_length, self.max_slot_length)
         self.open_slot(runtime, start, length)
 
     def open_slot(self, runtime: StationRuntime, start: Time, length: Time) -> None:
@@ -272,6 +312,17 @@ class Simulator:
                 runtime.station_id, runtime.slot_interval, aboard
             )
         heapq.heappush(self._event_heap, (runtime.slot_end, runtime.station_id))
+        probes = self.probes
+        if probes is not None and probes.slot_begin and action is not None:
+            event = SlotBeginEvent(
+                station_id=runtime.station_id,
+                slot_index=runtime.slot_index,
+                start=start,
+                length=length,
+                action=action,
+            )
+            for callback in probes.slot_begin:
+                callback(event)
 
     def _start(self) -> None:
         """Open every station's first slot at time 0."""
@@ -283,8 +334,18 @@ class Simulator:
             ctx = SlotContext(
                 feedback=None, queue_size=len(runtime.queue), slot_index=0
             )
-            action = runtime.algorithm.first_action(ctx)
+            action = self._timed_algorithm_step(runtime.algorithm.first_action, ctx)
             self._begin_slot(runtime, Fraction(0), action)
+
+    def _timed_algorithm_step(self, step: Callable[[SlotContext], Action], ctx: SlotContext) -> Action:
+        """Run one automaton step, attributing its wall time when profiling."""
+        profiler = self.profiler
+        if profiler is None:
+            return step(ctx)
+        began = perf_counter()
+        action = step(ctx)
+        profiler.add("algorithm", perf_counter() - began)
+        return action
 
     def _compute_feedback(self, runtime: StationRuntime) -> Feedback:
         slot = runtime.slot_interval
@@ -304,7 +365,23 @@ class Simulator:
             )
         self.now = end_time
         self._pump_arrivals(end_time)
-        feedback = self._compute_feedback(runtime)
+        profiler = self.profiler
+        if profiler is None:
+            feedback = self._compute_feedback(runtime)
+        else:
+            began = perf_counter()
+            feedback = self._compute_feedback(runtime)
+            profiler.add("channel", perf_counter() - began)
+        probes = self.probes
+        if probes is not None and probes.feedback:
+            event = FeedbackEvent(
+                station_id=sid,
+                slot_index=runtime.slot_index,
+                at=end_time,
+                feedback=feedback,
+            )
+            for callback in probes.feedback:
+                callback(event)
 
         delivered = False
         if (
@@ -325,6 +402,17 @@ class Simulator:
             self._total_backlog -= 1
             self.trace.on_backlog_change(end_time, self._total_backlog)
             delivered = True
+            if probes is not None and probes.delivery:
+                event = DeliveryEvent(
+                    packet_id=packet.packet_id,
+                    station_id=sid,
+                    at=end_time,
+                    latency=packet.latency,
+                    cost=packet.cost,
+                    backlog=self._total_backlog,
+                )
+                for callback in probes.delivery:
+                    callback(event)
 
         self._deliver_pending(runtime, end_time)
         runtime.slots_elapsed += 1
@@ -333,12 +421,27 @@ class Simulator:
         record_interval = runtime.slot_interval
         carried = runtime.aboard_packet
 
+        if probes is not None and probes.slot_end and record_action is not None:
+            event = SlotEndEvent(
+                station_id=sid,
+                slot_index=runtime.slot_index,
+                interval=record_interval,
+                action=record_action,
+                feedback=feedback,
+                queue_size=len(runtime.queue),
+                delivered=delivered,
+                backlog=self._total_backlog,
+                carried_packet_id=carried.packet_id if carried else None,
+            )
+            for callback in probes.slot_end:
+                callback(event)
+
         ctx = SlotContext(
             feedback=feedback,
             queue_size=len(runtime.queue),
             slot_index=runtime.slot_index + 1,
         )
-        next_action = runtime.algorithm.on_slot_end(ctx)
+        next_action = self._timed_algorithm_step(runtime.algorithm.on_slot_end, ctx)
         self._begin_slot(runtime, end_time, next_action)
 
         if self.trace.record_slots and record_action is not None:

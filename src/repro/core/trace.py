@@ -16,9 +16,10 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import List, Optional, Tuple
 
+from .errors import ConfigurationError
 from .feedback import Feedback
 from .station import Action
-from .timebase import Interval, Time
+from .timebase import Interval, Time, TimeLike, as_time
 
 
 @dataclass(frozen=True, slots=True)
@@ -66,9 +67,17 @@ class Trace:
     slots: List[SlotRecord] = field(default_factory=list)
     backlog: List[BacklogSample] = field(default_factory=list)
     max_backlog: int = 0
-    #: Exact running maximum of the backlog *cost upper bound*
-    #: (packets * R), comparable against the paper's L bounds.
+    #: Count of backlog-change events seen so far; drives the stride
+    #: sampling in :meth:`on_backlog_change` (``max_backlog`` stays
+    #: exact no matter how many samples the stride swallows).
     _backlog_events: int = 0
+
+    def __post_init__(self) -> None:
+        if self.backlog_stride < 1:
+            raise ConfigurationError(
+                f"backlog_stride must be >= 1, got {self.backlog_stride} "
+                "(a stride of 0 would silently never sample)"
+            )
 
     def on_slot(self, record: SlotRecord) -> None:
         """Store one slot record (if slot recording is enabled)."""
@@ -80,8 +89,18 @@ class Trace:
         if total_packets > self.max_backlog:
             self.max_backlog = total_packets
         self._backlog_events += 1
-        if self.backlog_stride and self._backlog_events % self.backlog_stride == 0:
+        if self._backlog_events % self.backlog_stride == 0:
             self.backlog.append(BacklogSample(time=time, total_packets=total_packets))
+
+    def max_backlog_cost(self, max_slot_length: TimeLike) -> Fraction:
+        """Exact running maximum of the backlog *cost upper bound*.
+
+        Every queued packet costs at most one maximal slot, so
+        ``max_backlog * R`` upper-bounds the queued cost at the worst
+        moment — the quantity comparable against the paper's ``L``
+        bounds (Theorems 3 and 6).
+        """
+        return self.max_backlog * as_time(max_slot_length)
 
     # ------------------------------------------------------------------
     # Queries used by analyses and figure renderers

@@ -1,0 +1,86 @@
+"""Observability: probes, metrics, run artifacts, profiling.
+
+The window into a running simulation.  Four layers, composable but
+independently usable:
+
+* :mod:`repro.obs.probes` — the :class:`ProbeBus` and its six event
+  types; the simulator fires them at named hook points with near-zero
+  cost when nobody listens.
+* :mod:`repro.obs.metrics` — counters / gauges / windowed histograms in
+  a :class:`MetricsRegistry`, plus :class:`SimulationMetrics`, the
+  built-in instrument pack (slot-length distribution, feedback mix,
+  queue occupancy, collisions, events/sec).
+* :mod:`repro.obs.artifacts` — :class:`RunManifest` + streaming JSONL
+  export (:class:`JsonlRunWriter`) and the :func:`load_run` /
+  :func:`summarize_run` readers behind ``repro stats``.
+* :mod:`repro.obs.profiling` — :class:`PhaseProfiler` (wall time per
+  simulator phase) and :class:`ProgressReporter` (periodic status lines
+  for long stability runs).
+
+Quickstart::
+
+    from repro.obs import ProbeBus, SimulationMetrics, JsonlRunWriter, RunManifest
+
+    bus = ProbeBus()
+    metrics = SimulationMetrics()
+    metrics.attach(bus)
+    writer = JsonlRunWriter("run.jsonl", RunManifest.create(algorithm="ao-arrow"),
+                            metrics=metrics).attach(bus)
+    sim = Simulator(..., probes=bus)
+    sim.run(until_time=1_000_000)
+    writer.close(sim=sim)
+    print("\\n".join(metrics.render()))
+"""
+
+from .artifacts import (
+    JsonlRunWriter,
+    RunArtifact,
+    RunManifest,
+    git_sha,
+    load_run,
+    render_summary,
+    summarize_run,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SimulationMetrics,
+)
+from .probes import (
+    PROBE_EVENTS,
+    ArrivalEvent,
+    CollisionEvent,
+    DeliveryEvent,
+    FeedbackEvent,
+    ProbeBus,
+    SlotBeginEvent,
+    SlotEndEvent,
+)
+from .profiling import PhaseProfiler, ProgressReporter
+
+__all__ = [
+    "ArrivalEvent",
+    "CollisionEvent",
+    "Counter",
+    "DeliveryEvent",
+    "FeedbackEvent",
+    "Gauge",
+    "Histogram",
+    "JsonlRunWriter",
+    "MetricsRegistry",
+    "PROBE_EVENTS",
+    "PhaseProfiler",
+    "ProbeBus",
+    "ProgressReporter",
+    "RunArtifact",
+    "RunManifest",
+    "SimulationMetrics",
+    "SlotBeginEvent",
+    "SlotEndEvent",
+    "git_sha",
+    "load_run",
+    "render_summary",
+    "summarize_run",
+]

@@ -1,0 +1,428 @@
+"""Run artifacts: manifests, streaming JSONL export, and the reader.
+
+One simulation run becomes one JSONL file:
+
+* line 1 — the **manifest**: what was run (config, n, R, rho,
+  adversary, seed), by which code (package version, git SHA), when;
+* then a stream of **event records** in simulation order (``slot``,
+  ``arrival``, ``delivery``, ``collision``), every exact rational
+  serialized as a fraction string (``"3/2"``) so nothing is rounded;
+* optionally interleaved **metrics snapshots**;
+* last line — the **summary**: wall time, event count, and (when a
+  :class:`~repro.obs.metrics.SimulationMetrics` was attached) the final
+  registry snapshot.
+
+The format is append-only and line-delimited on purpose: a crashed or
+interrupted run still leaves a readable prefix, and a million-slot run
+streams to disk instead of accumulating in memory.  Read artifacts back
+with :func:`load_run`; summarize them with :func:`summarize_run` (the
+``repro stats`` subcommand).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import time
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import IO, Any, Callable, Dict, List, Optional, Union
+
+from .metrics import SimulationMetrics
+from .probes import (
+    ArrivalEvent,
+    CollisionEvent,
+    DeliveryEvent,
+    ProbeBus,
+    SlotEndEvent,
+)
+
+#: Artifact schema version; bump when record fields change shape.
+SCHEMA_VERSION = 1
+
+
+def _frac(value: Any) -> str:
+    """Serialize an exact time/duration losslessly."""
+    return str(value)
+
+
+def parse_time(text: Union[str, int]) -> Fraction:
+    """Parse a time serialized by :func:`_frac` back to an exact rational."""
+    return Fraction(text)
+
+
+def git_sha(start: Optional[pathlib.Path] = None) -> Optional[str]:
+    """Current git commit of the source tree, best-effort (None off-repo)."""
+    cwd = start if start is not None else pathlib.Path(__file__).resolve().parent
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+def _action_name(action: Any) -> str:
+    if not action.is_transmit:
+        return "listen"
+    return "transmit_packet" if action.carries_packet else "transmit_control"
+
+
+@dataclass(slots=True)
+class RunManifest:
+    """Everything needed to attribute and re-run one simulation."""
+
+    config: Dict[str, Any]
+    created_at: str = ""
+    repro_version: Optional[str] = None
+    git_commit: Optional[str] = None
+    schema_version: int = SCHEMA_VERSION
+
+    @classmethod
+    def create(cls, **config: Any) -> "RunManifest":
+        """Build a manifest from run parameters, stamping code identity.
+
+        Exact rationals in the config are serialized as fraction
+        strings; everything else must already be JSON-representable.
+        """
+        try:
+            from .. import __version__ as version
+        except Exception:  # pragma: no cover - defensive
+            version = None
+        clean = {
+            key: (_frac(value) if isinstance(value, Fraction) else value)
+            for key, value in config.items()
+        }
+        return cls(
+            config=clean,
+            created_at=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            repro_version=version,
+            git_commit=git_sha(),
+        )
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "type": "manifest",
+            "schema_version": self.schema_version,
+            "created_at": self.created_at,
+            "repro_version": self.repro_version,
+            "git_commit": self.git_commit,
+            "config": self.config,
+        }
+
+
+class JsonlRunWriter:
+    """Streams a run's events (and manifest + summary) to a JSONL file.
+
+    Usage::
+
+        bus = ProbeBus()
+        writer = JsonlRunWriter("out.jsonl", RunManifest.create(algorithm="ao-arrow"))
+        writer.attach(bus)
+        sim = Simulator(..., probes=bus)
+        sim.run(until_time=100_000)
+        writer.close(sim=sim)
+
+    ``slot_stride`` thins the (dominant) slot records: ``k`` keeps every
+    k-th slot-end of the run while arrivals, deliveries and collisions
+    are always written exactly.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, pathlib.Path],
+        manifest: Optional[RunManifest] = None,
+        slot_stride: int = 1,
+        metrics: Optional[SimulationMetrics] = None,
+        metrics_every: Optional[int] = None,
+    ) -> None:
+        if slot_stride < 1:
+            raise ValueError(f"slot_stride must be >= 1, got {slot_stride}")
+        if metrics_every is not None and metrics_every < 1:
+            raise ValueError(f"metrics_every must be >= 1, got {metrics_every}")
+        self.path = pathlib.Path(path)
+        self.metrics = metrics
+        self._slot_stride = slot_stride
+        self._metrics_every = metrics_every
+        self._slot_events = 0
+        self._wall_start = time.perf_counter()
+        self._detach: Optional[Callable[[], None]] = None
+        self._stream: Optional[IO[str]] = self.path.open("w", encoding="utf-8")
+        if manifest is not None:
+            self._write(manifest.to_record())
+
+    # -- low-level ------------------------------------------------------
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        if self._stream is None:
+            return
+        self._stream.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    # -- probe callbacks ------------------------------------------------
+
+    def _on_slot_end(self, event: SlotEndEvent) -> None:
+        self._slot_events += 1
+        if self._slot_events % self._slot_stride == 0:
+            self._write(
+                {
+                    "type": "slot",
+                    "sid": event.station_id,
+                    "idx": event.slot_index,
+                    "start": _frac(event.interval.start),
+                    "end": _frac(event.interval.end),
+                    "action": _action_name(event.action),
+                    "fb": event.feedback.name.lower(),
+                    "q": event.queue_size,
+                    "delivered": event.delivered,
+                    "backlog": event.backlog,
+                    "pkt": event.carried_packet_id,
+                }
+            )
+        if (
+            self._metrics_every is not None
+            and self.metrics is not None
+            and self._slot_events % self._metrics_every == 0
+        ):
+            self._write(
+                {
+                    "type": "metrics",
+                    "at_event": self._slot_events,
+                    "data": self.metrics.snapshot(),
+                }
+            )
+
+    def _on_arrival(self, event: ArrivalEvent) -> None:
+        self._write(
+            {
+                "type": "arrival",
+                "pkt": event.packet_id,
+                "sid": event.station_id,
+                "t": _frac(event.at),
+                "backlog": event.backlog,
+            }
+        )
+
+    def _on_delivery(self, event: DeliveryEvent) -> None:
+        self._write(
+            {
+                "type": "delivery",
+                "pkt": event.packet_id,
+                "sid": event.station_id,
+                "t": _frac(event.at),
+                "latency": _frac(event.latency),
+                "cost": _frac(event.cost),
+                "backlog": event.backlog,
+            }
+        )
+
+    def _on_collision(self, event: CollisionEvent) -> None:
+        self._write(
+            {
+                "type": "collision",
+                "sid": event.station_id,
+                "start": _frac(event.interval.start),
+                "end": _frac(event.interval.end),
+                "control": event.is_control,
+            }
+        )
+
+    # -- lifecycle ------------------------------------------------------
+
+    def attach(self, bus: ProbeBus) -> "JsonlRunWriter":
+        self._detach = bus.subscribe_many(
+            {
+                "slot_end": self._on_slot_end,
+                "arrival": self._on_arrival,
+                "delivery": self._on_delivery,
+                "collision": self._on_collision,
+            }
+        )
+        return self
+
+    def close(self, sim: Any = None) -> pathlib.Path:
+        """Detach, write the summary record, flush, and close the file."""
+        if self._detach is not None:
+            self._detach()
+            self._detach = None
+        if self._stream is not None:
+            wall = time.perf_counter() - self._wall_start
+            summary: Dict[str, Any] = {
+                "type": "summary",
+                "wall_time_s": round(wall, 6),
+                "slot_events": self._slot_events,
+                "events_per_second": (
+                    round(self._slot_events / wall, 2) if wall > 0 else None
+                ),
+            }
+            if sim is not None:
+                summary["horizon"] = _frac(sim.now)
+                summary["delivered"] = len(sim.delivered_packets)
+                summary["backlog"] = sim.total_backlog
+                summary["collisions"] = sim.channel.stats.collisions
+            if self.metrics is not None:
+                summary["metrics"] = self.metrics.snapshot()
+            self._write(summary)
+            self._stream.close()
+            self._stream = None
+        return self.path
+
+    def __enter__(self) -> "JsonlRunWriter":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+@dataclass(slots=True)
+class RunArtifact:
+    """A parsed JSONL run: manifest + event records + summary."""
+
+    path: Optional[pathlib.Path]
+    manifest: Optional[Dict[str, Any]]
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    summary: Optional[Dict[str, Any]] = None
+
+    def of_type(self, record_type: str) -> List[Dict[str, Any]]:
+        """All event records of one type, in stream order."""
+        return [r for r in self.records if r.get("type") == record_type]
+
+
+def load_run(path: Union[str, pathlib.Path]) -> RunArtifact:
+    """Read a JSONL run artifact written by :class:`JsonlRunWriter`.
+
+    Tolerates a truncated final line (interrupted run): complete records
+    up to that point are returned.
+    """
+    resolved = pathlib.Path(path)
+    manifest: Optional[Dict[str, Any]] = None
+    summary: Optional[Dict[str, Any]] = None
+    records: List[Dict[str, Any]] = []
+    with resolved.open("r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                break  # truncated tail of an interrupted run
+            kind = record.get("type")
+            if kind == "manifest":
+                manifest = record
+            elif kind == "summary":
+                summary = record
+            else:
+                records.append(record)
+    return RunArtifact(
+        path=resolved, manifest=manifest, records=records, summary=summary
+    )
+
+
+def summarize_run(
+    run: Union[RunArtifact, str, pathlib.Path],
+) -> Dict[str, Any]:
+    """Aggregate a saved run into the quantities ``repro stats`` prints.
+
+    Works from the event stream alone, so it summarizes interrupted runs
+    (no summary record) and runs written without metrics attached.
+    """
+    artifact = run if isinstance(run, RunArtifact) else load_run(run)
+    slots = artifact.of_type("slot")
+    arrivals = artifact.of_type("arrival")
+    deliveries = artifact.of_type("delivery")
+    collisions = artifact.of_type("collision")
+
+    feedback_mix: Dict[str, int] = {"ack": 0, "silence": 0, "busy": 0}
+    slot_lengths: Dict[str, int] = {}
+    max_backlog = 0
+    horizon = Fraction(0)
+    for record in slots:
+        feedback_mix[record["fb"]] = feedback_mix.get(record["fb"], 0) + 1
+        length = _frac(parse_time(record["end"]) - parse_time(record["start"]))
+        slot_lengths[length] = slot_lengths.get(length, 0) + 1
+        horizon = max(horizon, parse_time(record["end"]))
+    for record in arrivals + deliveries + slots:
+        backlog = record.get("backlog")
+        if backlog is not None and backlog > max_backlog:
+            max_backlog = backlog
+
+    summary = artifact.summary or {}
+    latencies = [parse_time(r["latency"]) for r in deliveries]
+    mean_latency = (
+        sum(latencies, Fraction(0)) / len(latencies) if latencies else None
+    )
+    return {
+        "path": str(artifact.path) if artifact.path else None,
+        "config": (artifact.manifest or {}).get("config", {}),
+        "git_commit": (artifact.manifest or {}).get("git_commit"),
+        "slot_events": summary.get("slot_events", len(slots)),
+        "slot_records": len(slots),
+        "horizon": _frac(horizon) if slots else summary.get("horizon"),
+        "feedback_mix": feedback_mix,
+        "slot_length_histogram": dict(
+            sorted(slot_lengths.items(), key=lambda kv: Fraction(kv[0]))
+        ),
+        "arrivals": len(arrivals),
+        "delivered": summary.get("delivered", len(deliveries)),
+        "collisions": summary.get("collisions", len(collisions)),
+        "max_backlog": max_backlog,
+        "final_backlog": summary.get("backlog"),
+        "mean_latency": _frac(mean_latency) if mean_latency is not None else None,
+        "wall_time_s": summary.get("wall_time_s"),
+        "events_per_second": summary.get("events_per_second"),
+    }
+
+
+def render_summary(stats: Dict[str, Any]) -> List[str]:
+    """Human-readable lines for one :func:`summarize_run` result."""
+    lines: List[str] = []
+    config = stats.get("config") or {}
+    if config:
+        pairs = " ".join(f"{k}={v}" for k, v in config.items())
+        lines.append(f"run: {pairs}")
+    if stats.get("git_commit"):
+        lines.append(f"git: {stats['git_commit']}")
+    lines.append(
+        f"slot events: {stats['slot_events']} "
+        f"(records kept: {stats['slot_records']})"
+    )
+    if stats.get("horizon") is not None:
+        lines.append(f"horizon: t = {stats['horizon']}")
+    mix = stats["feedback_mix"]
+    total = sum(mix.values()) or 1
+    lines.append(
+        "feedback mix: "
+        + "  ".join(
+            f"{kind}={count} ({100.0 * count / total:.1f}%)"
+            for kind, count in mix.items()
+        )
+    )
+    histogram = stats["slot_length_histogram"]
+    if histogram:
+        lines.append(
+            "slot lengths: "
+            + "  ".join(f"{length}: {count}" for length, count in histogram.items())
+        )
+    lines.append(
+        f"packets: arrivals={stats['arrivals']} delivered={stats['delivered']} "
+        f"max_backlog={stats['max_backlog']}"
+    )
+    lines.append(f"collisions: {stats['collisions']}")
+    if stats.get("mean_latency") is not None:
+        lines.append(
+            f"mean latency: {float(Fraction(stats['mean_latency'])):.2f} "
+            f"(exact {stats['mean_latency']})"
+        )
+    if stats.get("wall_time_s") is not None:
+        eps = stats.get("events_per_second")
+        eps_text = f" ({eps:.0f} events/s)" if isinstance(eps, (int, float)) else ""
+        lines.append(f"wall time: {stats['wall_time_s']:.3f}s{eps_text}")
+    return lines

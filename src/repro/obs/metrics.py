@@ -1,0 +1,327 @@
+"""Metrics registry: counters, gauges, windowed histograms, built-ins.
+
+The registry is deliberately small — three instrument kinds cover every
+quantity the adversarial-queuing literature reports over time (queue
+occupancy, collision mix, throughput over windows):
+
+* :class:`Counter` — monotonically increasing event counts;
+* :class:`Gauge` — instantaneous values with exact running max/min;
+* :class:`Histogram` — exact value->count distribution (slot lengths
+  and feedback kinds come from tiny discrete sets, so exact counting
+  beats bucketing), with an optional sliding *window* of the most
+  recent observations for "recent distribution" queries.
+
+:class:`SimulationMetrics` wires a standard instrument set to a
+:class:`~repro.obs.probes.ProbeBus`: slot-length distribution, feedback
+mix (ack/silence/busy), per-station queue occupancy, collisions,
+control messages, backlog, and wall-clock simulation throughput
+(slot events per second).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from .probes import (
+    ArrivalEvent,
+    CollisionEvent,
+    DeliveryEvent,
+    ProbeBus,
+    SlotEndEvent,
+)
+
+
+def _plain(value: Any) -> Any:
+    """JSON-safe rendering: exact rationals become strings, ints stay ints."""
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        return value
+    return str(value)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> Any:
+        return self.value
+
+
+class Gauge:
+    """An instantaneous value with exact running extrema."""
+
+    __slots__ = ("name", "value", "max", "min")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Any = None
+        self.max: Any = None
+        self.min: Any = None
+
+    def set(self, value: Any) -> None:
+        self.value = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if self.min is None or value < self.min:
+            self.min = value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "value": _plain(self.value),
+            "max": _plain(self.max),
+            "min": _plain(self.min),
+        }
+
+
+class Histogram:
+    """Exact distribution of observed values, optionally windowed.
+
+    ``counts`` covers the full run; when ``window`` is set, the last
+    ``window`` observations are also retained so
+    :meth:`recent_counts` can report the *current* distribution of a
+    long run (e.g. the feedback mix over the last 10k slots, which
+    reveals a phase change the all-time mix averages away).
+    """
+
+    __slots__ = ("name", "counts", "count", "total", "window", "_recent")
+
+    def __init__(self, name: str, window: Optional[int] = None) -> None:
+        if window is not None and window < 1:
+            raise ValueError(f"histogram window must be >= 1, got {window}")
+        self.name = name
+        self.counts: Dict[Any, int] = {}
+        self.count = 0
+        self.total: Any = 0
+        self.window = window
+        self._recent: Optional[Deque[Any]] = (
+            deque(maxlen=window) if window is not None else None
+        )
+
+    def observe(self, value: Any) -> None:
+        self.counts[value] = self.counts.get(value, 0) + 1
+        self.count += 1
+        self.total = self.total + value
+        if self._recent is not None:
+            self._recent.append(value)
+
+    def recent_counts(self) -> Dict[Any, int]:
+        """Distribution over the last ``window`` observations."""
+        out: Dict[Any, int] = {}
+        for value in self._recent or ():
+            out[value] = out.get(value, 0) + 1
+        return out
+
+    def mean(self) -> Optional[Any]:
+        return self.total / self.count if self.count else None
+
+    def snapshot(self) -> Dict[str, Any]:
+        ordered = sorted(self.counts.items(), key=lambda kv: str(kv[0]))
+        snap: Dict[str, Any] = {
+            "count": self.count,
+            "mean": _plain(self.mean()),
+            "counts": {str(k): v for k, v in ordered},
+        }
+        if self.window is not None:
+            snap["window"] = self.window
+            snap["recent"] = {
+                str(k): v
+                for k, v in sorted(
+                    self.recent_counts().items(), key=lambda kv: str(kv[0])
+                )
+            }
+        return snap
+
+
+class MetricsRegistry:
+    """Named instruments, get-or-create, one JSON-safe snapshot call."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Any] = {}
+
+    def _get_or_create(self, name: str, kind: type, factory: Callable[[], Any]) -> Any:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str, window: Optional[int] = None) -> Histogram:
+        return self._get_or_create(name, Histogram, lambda: Histogram(name, window))
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """All instruments as plain JSON-serializable values."""
+        return {
+            name: self._instruments[name].snapshot() for name in self.names()
+        }
+
+    def render(self) -> List[str]:
+        """Human-readable one-instrument-per-line summary."""
+        lines: List[str] = []
+        for name in self.names():
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                lines.append(f"{name}: {instrument.value}")
+            elif isinstance(instrument, Gauge):
+                lines.append(
+                    f"{name}: {instrument.value} (max {instrument.max}, "
+                    f"min {instrument.min})"
+                )
+            else:
+                parts = ", ".join(
+                    f"{k}: {v}"
+                    for k, v in sorted(
+                        instrument.counts.items(), key=lambda kv: str(kv[0])
+                    )
+                )
+                mean = instrument.mean()
+                mean_text = f"{float(mean):.4g}" if mean is not None else "n/a"
+                lines.append(
+                    f"{name}: n={instrument.count} mean={mean_text} {{{parts}}}"
+                )
+        return lines
+
+
+class SimulationMetrics:
+    """The built-in instrument pack for one simulation run.
+
+    Attach to a bus before the run starts::
+
+        bus = ProbeBus()
+        sim_metrics = SimulationMetrics()
+        sim_metrics.attach(bus)
+        Simulator(..., probes=bus).run(until_time=10_000)
+        print("\\n".join(sim_metrics.registry.render()))
+
+    Instruments (registry names):
+
+    * ``slots`` — slot-end events processed;
+    * ``slot_length`` — histogram of realized slot lengths;
+    * ``feedback.{ack,silence,busy}`` — the feedback mix;
+    * ``collisions`` / ``control_messages`` — channel pathologies;
+    * ``arrivals`` / ``delivered`` — packet flow;
+    * ``backlog`` — gauge of undelivered packets (exact max);
+    * ``queue.<sid>`` — per-station queue occupancy gauges;
+    * events/sec wall-clock throughput via :meth:`events_per_second`.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        slot_length_window: Optional[int] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        self._slots = reg.counter("slots")
+        self._slot_length = reg.histogram("slot_length", window=slot_length_window)
+        self._feedback = {
+            kind: reg.counter(f"feedback.{kind}") for kind in ("ack", "silence", "busy")
+        }
+        self._collisions = reg.counter("collisions")
+        self._control = reg.counter("control_messages")
+        self._arrivals = reg.counter("arrivals")
+        self._delivered = reg.counter("delivered")
+        self._backlog = reg.gauge("backlog")
+        self._backlog.set(0)
+        self._queues: Dict[int, Gauge] = {}
+        self._wall_start: Optional[float] = None
+        self._wall_last: Optional[float] = None
+        self._detach: Optional[Callable[[], None]] = None
+
+    # -- subscriber callbacks ------------------------------------------
+
+    def _on_slot_end(self, event: SlotEndEvent) -> None:
+        self._slots.inc()
+        self._slot_length.observe(event.interval.duration)
+        self._feedback[event.feedback.name.lower()].inc()
+        self._backlog.set(event.backlog)
+        queue = self._queues.get(event.station_id)
+        if queue is None:
+            queue = self.registry.gauge(f"queue.{event.station_id}")
+            self._queues[event.station_id] = queue
+        queue.set(event.queue_size)
+        if event.action.is_transmit and not event.action.carries_packet:
+            self._control.inc()
+        self._wall_last = time.perf_counter()
+
+    def _on_collision(self, event: CollisionEvent) -> None:
+        self._collisions.inc()
+
+    def _on_arrival(self, event: ArrivalEvent) -> None:
+        self._arrivals.inc()
+        self._backlog.set(event.backlog)
+
+    def _on_delivery(self, event: DeliveryEvent) -> None:
+        self._delivered.inc()
+        self._backlog.set(event.backlog)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def attach(self, bus: ProbeBus) -> Callable[[], None]:
+        """Subscribe every instrument; returns an unsubscriber."""
+        self._wall_start = time.perf_counter()
+        self._detach = bus.subscribe_many(
+            {
+                "slot_end": self._on_slot_end,
+                "collision": self._on_collision,
+                "arrival": self._on_arrival,
+                "delivery": self._on_delivery,
+            }
+        )
+        return self._detach
+
+    def detach(self) -> None:
+        if self._detach is not None:
+            self._detach()
+            self._detach = None
+
+    # -- derived quantities --------------------------------------------
+
+    def events_per_second(self) -> Optional[float]:
+        """Wall-clock simulation throughput over the observed span."""
+        if self._wall_start is None or self._wall_last is None:
+            return None
+        elapsed = self._wall_last - self._wall_start
+        if elapsed <= 0:
+            return None
+        return self._slots.value / elapsed
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Registry snapshot plus the derived throughput."""
+        snap = self.registry.snapshot()
+        eps = self.events_per_second()
+        snap["events_per_second"] = round(eps, 2) if eps is not None else None
+        return snap
+
+    def render(self) -> List[str]:
+        lines = self.registry.render()
+        eps = self.events_per_second()
+        if eps is not None:
+            lines.append(f"events_per_second: {eps:.0f}")
+        return lines

@@ -1,0 +1,142 @@
+"""Wall-time attribution and progress reporting for long runs.
+
+:class:`PhaseProfiler` answers "where does a million-slot run spend its
+wall time?" by accumulating per-phase totals the simulator reports
+around its three externally-supplied hot paths:
+
+* ``adversary`` — ``slot_adversary.next_slot_length`` calls;
+* ``channel``  — feedback resolution over the transmission registry;
+* ``algorithm`` — station automaton steps (``first_action`` /
+  ``on_slot_end``).
+
+The remainder (heap operations, arrival pumping, bookkeeping) is the
+simulator's own overhead: ``total_wall - sum(phases)``.
+
+:class:`ProgressReporter` subscribes to the ``slot_end`` probe and
+periodically prints one status line (events, simulated time, backlog,
+events/sec) so a long Theorem 3/6 stability run is watchable instead of
+silent.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional, TextIO
+
+from .probes import ProbeBus, SlotEndEvent
+
+
+class PhaseProfiler:
+    """Accumulates wall-time per named simulator phase.
+
+    The simulator calls :meth:`add` with durations it measured itself
+    (keeping the no-profiler fast path free of any clock reads).
+    """
+
+    __slots__ = ("seconds", "calls", "_started_at")
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+        self._started_at = time.perf_counter()
+
+    def add(self, phase: str, duration: float) -> None:
+        """Record one timed call of ``phase``."""
+        self.seconds[phase] = self.seconds.get(phase, 0.0) + duration
+        self.calls[phase] = self.calls.get(phase, 0) + 1
+
+    @property
+    def total_wall(self) -> float:
+        """Wall time since the profiler was created."""
+        return time.perf_counter() - self._started_at
+
+    def as_dict(self) -> Dict[str, Any]:
+        total = self.total_wall
+        attributed = sum(self.seconds.values())
+        return {
+            "total_wall_s": round(total, 6),
+            "attributed_s": round(attributed, 6),
+            "other_s": round(max(0.0, total - attributed), 6),
+            "phases": {
+                phase: {
+                    "seconds": round(self.seconds[phase], 6),
+                    "calls": self.calls[phase],
+                    "mean_us": round(
+                        1e6 * self.seconds[phase] / self.calls[phase], 3
+                    )
+                    if self.calls[phase]
+                    else None,
+                }
+                for phase in sorted(self.seconds)
+            },
+        }
+
+    def render(self) -> List[str]:
+        """Human-readable per-phase report, heaviest phase first."""
+        total = self.total_wall
+        lines = [f"wall time: {total:.3f}s"]
+        for phase in sorted(self.seconds, key=self.seconds.get, reverse=True):
+            seconds = self.seconds[phase]
+            calls = self.calls[phase]
+            share = 100.0 * seconds / total if total > 0 else 0.0
+            mean_us = 1e6 * seconds / calls if calls else 0.0
+            lines.append(
+                f"  {phase:<10} {seconds:8.3f}s ({share:4.1f}%)  "
+                f"{calls} calls, {mean_us:.1f}us/call"
+            )
+        other = max(0.0, total - sum(self.seconds.values()))
+        share = 100.0 * other / total if total > 0 else 0.0
+        lines.append(f"  {'other':<10} {other:8.3f}s ({share:4.1f}%)  simulator overhead")
+        return lines
+
+
+class ProgressReporter:
+    """Periodic one-line progress for long runs (stderr by default).
+
+    ``every_events`` bounds how often the wall clock is even consulted;
+    ``min_interval_s`` then rate-limits actual output so tight event
+    loops do not flood the terminal.
+    """
+
+    def __init__(
+        self,
+        every_events: int = 100_000,
+        min_interval_s: float = 1.0,
+        stream: Optional[TextIO] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if every_events < 1:
+            raise ValueError(f"every_events must be >= 1, got {every_events}")
+        self.every_events = every_events
+        self.min_interval_s = min_interval_s
+        self.stream = stream if stream is not None else sys.stderr
+        self._clock = clock
+        self._events = 0
+        self._started = self._clock()
+        self._last_report = self._started
+        self._last_events = 0
+        self.reports_emitted = 0
+
+    def _on_slot_end(self, event: SlotEndEvent) -> None:
+        self._events += 1
+        if self._events % self.every_events:
+            return
+        now = self._clock()
+        if now - self._last_report < self.min_interval_s:
+            return
+        window_eps = (self._events - self._last_events) / (now - self._last_report)
+        self.stream.write(
+            f"[repro] events={self._events} t={float(event.interval.end):.1f} "
+            f"backlog={event.backlog} rate={window_eps:.0f} ev/s\n"
+        )
+        self.stream.flush()
+        self._last_report = now
+        self._last_events = self._events
+        self.reports_emitted += 1
+
+    def attach(self, bus: ProbeBus) -> Callable[[], None]:
+        """Subscribe to ``slot_end``; returns an unsubscriber."""
+        self._started = self._clock()
+        self._last_report = self._started
+        return bus.subscribe("slot_end", self._on_slot_end)

@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.lowerbounds",
     "repro.analysis",
     "repro.faults",
+    "repro.obs",
     "repro.viz",
 ]
 
@@ -62,6 +63,13 @@ def test_key_entry_points_importable():
     )
     from repro.cli import main  # noqa: F401
     from repro.core import Simulator  # noqa: F401
+    from repro.obs import (  # noqa: F401
+        JsonlRunWriter,
+        ProbeBus,
+        SimulationMetrics,
+        load_run,
+        summarize_run,
+    )
     from repro.lowerbounds import (  # noqa: F401
         force_collision_or_overflow,
         measure_rate_one_instability,

@@ -57,6 +57,60 @@ class TestRunCommand:
         with pytest.raises(SystemExit):
             main(["run", "--schedule", "lunar"])
 
+    def test_metrics_flag(self, capsys):
+        code = main(
+            ["run", "--algorithm", "ao-arrow", "--n", "3", "--horizon", "500",
+             "--metrics"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "feedback.ack" in out
+        assert "slot_length" in out
+        assert "events_per_second" in out
+
+    def test_profile_flag(self, capsys):
+        code = main(
+            ["run", "--algorithm", "ca-arrow", "--n", "3", "--horizon", "400",
+             "--profile"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "adversary" in out and "algorithm" in out and "channel" in out
+
+
+class TestEmitJsonlAndStats:
+    def test_emit_then_stats_round_trip(self, tmp_path, capsys):
+        artifact = tmp_path / "run.jsonl"
+        code = main(
+            ["run", "--algorithm", "ao-arrow", "--n", "3", "--rho", "1/2",
+             "--horizon", "600", "--metrics", "--emit-jsonl", str(artifact)]
+        )
+        assert code == 0
+        run_out = capsys.readouterr().out
+        assert str(artifact) in run_out
+        assert artifact.exists()
+
+        code = main(["stats", str(artifact)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "feedback mix:" in out
+        assert "slot lengths:" in out
+        assert "max_backlog=" in out
+        assert "events/s" in out
+        assert "algorithm=ao-arrow" in out
+
+    def test_stats_agrees_with_run_output(self, tmp_path, capsys):
+        artifact = tmp_path / "run.jsonl"
+        main(
+            ["run", "--algorithm", "ca-arrow", "--n", "3", "--horizon", "500",
+             "--emit-jsonl", str(artifact)]
+        )
+        run_out = capsys.readouterr().out
+        delivered = int(run_out.split("delivered:")[1].split()[0])
+        main(["stats", str(artifact)])
+        stats_out = capsys.readouterr().out
+        assert f"delivered={delivered}" in stats_out
+
 
 class TestSstCommand:
     def test_abs(self, capsys):

@@ -2,7 +2,10 @@
 
 from fractions import Fraction
 
+import pytest
+
 from repro.core import (
+    ConfigurationError,
     Feedback,
     LISTEN,
     SlotRecord,
@@ -76,3 +79,17 @@ class TestBacklogTracking:
         for k in range(6):
             trace.on_backlog_change(Fraction(k), k)
         assert len(trace.backlog) == 3
+
+    @pytest.mark.parametrize("stride", [0, -1, -8])
+    def test_invalid_stride_rejected(self, stride):
+        # Regression: stride 0 used to silently never sample.
+        with pytest.raises(ConfigurationError):
+            Trace(backlog_stride=stride)
+
+    def test_max_backlog_cost_is_packets_times_r(self):
+        trace = Trace(backlog_stride=3)
+        for k, value in enumerate([2, 7, 4]):
+            trace.on_backlog_change(Fraction(k), value)
+        assert trace.max_backlog_cost(2) == 14
+        assert trace.max_backlog_cost("3/2") == Fraction(21, 2)
+        assert trace.max_backlog_cost(Fraction(5, 2)) == Fraction(35, 2)
