@@ -6,17 +6,23 @@ backlog cost (packets x R, the conservative cost reading) and compare
 against the closed-form ``L``.  Reproduced shape: measured peaks are
 bounded, far below ``L`` (the paper's bound is loose by design), and
 degrade as ``1/(1 - rho)`` when rho -> 1.
+
+The cells are independent, so the grid runs on the :mod:`repro.exec`
+engine: ``REPRO_BENCH_JOBS=4`` fans it out over four workers with
+bit-identical results, and completed cells are memoized in
+``.repro-cache/`` (``REPRO_BENCH_NO_CACHE=1`` to bypass).  The
+artifact's ``meta`` block records wall time, jobs, and cache counts.
 """
 
+import functools
 from fractions import Fraction
 
 from repro.algorithms import AOArrow
-from repro.analysis import ao_queue_bound_L, assess_stability
+from repro.analysis import ExperimentCell, ao_queue_bound_L, run_grid_report
 from repro.arrivals import BurstyRate
-from repro.core import Simulator, Trace
 from repro.timing import Synchronous, worst_case_for
 
-from .reporting import emit, table
+from .reporting import bench_cache, bench_jobs, emit, grid_meta, table
 
 GRID = [
     (2, 1, "1/2"), (2, 2, "1/2"), (4, 2, "1/2"),
@@ -25,45 +31,65 @@ GRID = [
 ]
 HORIZON = 20_000
 BURST = 3
+STRIDE = 4
+
+
+def _fleet(n, R):
+    return {i: AOArrow(i, n, R) for i in range(1, n + 1)}
+
+
+def _adversary(R):
+    return Synchronous() if R == 1 else worst_case_for(R)
+
+
+def _source(n, R, rho):
+    return BurstyRate(
+        rho=rho, burst_size=BURST, targets=list(range(1, n + 1)), assumed_cost=R
+    )
+
+
+def _cell(n, R, rho):
+    return ExperimentCell(
+        name=f"ao-arrow n={n} R={R} rho={rho}",
+        algorithms=functools.partial(_fleet, n, R),
+        slot_adversary=functools.partial(_adversary, R),
+        arrival_source=functools.partial(_source, n, R, rho),
+        max_slot_length=R,
+        horizon=HORIZON,
+        labels={"n": str(n), "R": str(R), "rho": rho},
+    )
 
 
 def _run_cell(n, R, rho):
-    algos = {i: AOArrow(i, n, R) for i in range(1, n + 1)}
-    adversary = Synchronous() if R == 1 else worst_case_for(R)
-    source = BurstyRate(
-        rho=rho, burst_size=BURST, targets=list(range(1, n + 1)), assumed_cost=R
-    )
-    trace = Trace(backlog_stride=4)
-    sim = Simulator(
-        algos, adversary, max_slot_length=R, arrival_source=source, trace=trace
-    )
-    sim.run(until_time=HORIZON)
-    samples = trace.backlog_series()
-    samples.append((sim.now, sim.total_backlog))
-    verdict = assess_stability(samples, HORIZON, tolerance=5)
-    return sim, trace, verdict
+    """One cell, engine semantics (kept for ad-hoc timing recipes)."""
+    return run_grid_report([_cell(n, R, rho)], backlog_stride=STRIDE).results[0]
 
 
 def test_queue_bound_grid(benchmark):
     def run():
-        return {(n, R, rho): _run_cell(n, R, rho) for n, R, rho in GRID}
+        return run_grid_report(
+            [_cell(n, R, rho) for n, R, rho in GRID],
+            backlog_stride=STRIDE,
+            jobs=bench_jobs(),
+            cache=bench_cache(),
+        )
 
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = []
     burstiness = BURST * 2  # burst_size packets at assumed cost R = 2 avg
-    for (n, R, rho), (sim, trace, verdict) in results.items():
+    for (n, R, rho), result in zip(GRID, report.results):
         bound = ao_queue_bound_L(n, R, rho, burstiness, R)
-        peak_cost = trace.max_backlog * Fraction(R)
+        peak_cost = result.peak_backlog * Fraction(R)
         rows.append(
             (
                 n,
                 R,
                 rho,
-                "stable" if verdict.stable else "UNSTABLE",
-                trace.max_backlog,
+                "stable" if result.stable else "UNSTABLE",
+                result.peak_backlog,
                 float(peak_cost),
                 f"{float(bound):.0f}",
-                len(sim.delivered_packets),
+                result.metrics.delivered,
             )
         )
     emit(
@@ -75,28 +101,35 @@ def test_queue_bound_grid(benchmark):
              "delivered"],
             rows,
         ),
+        meta=grid_meta(report),
     )
-    for (n, R, rho), (sim, trace, verdict) in results.items():
-        assert verdict.stable, f"unstable at n={n} R={R} rho={rho}"
-        assert trace.max_backlog * Fraction(R) <= ao_queue_bound_L(
+    for (n, R, rho), result in zip(GRID, report.results):
+        assert result.stable, f"unstable at n={n} R={R} rho={rho}"
+        assert result.peak_backlog * Fraction(R) <= ao_queue_bound_L(
             n, R, rho, burstiness, R
         )
 
 
 def test_backlog_degrades_toward_rate_one(benchmark):
     """The 1/(1-rho) shape: peaks grow as rho -> 1."""
+    rhos = ("1/2", "3/4", "9/10", "19/20")
 
     def run():
-        peaks = {}
-        for rho in ("1/2", "3/4", "9/10", "19/20"):
-            _, trace, _ = _run_cell(3, 2, rho)
-            peaks[rho] = trace.max_backlog
-        return peaks
+        return run_grid_report(
+            [_cell(3, 2, rho) for rho in rhos],
+            backlog_stride=STRIDE,
+            jobs=bench_jobs(),
+            cache=bench_cache(),
+        )
 
-    peaks = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    peaks = {
+        rho: result.peak_backlog for rho, result in zip(rhos, report.results)
+    }
     emit(
         "thm3_rho_degradation",
         ["AO-ARRoW peak backlog vs rho (n=3, R=2): 1/(1-rho) shape"]
         + table(["rho", "peak_backlog"], peaks.items()),
+        meta=grid_meta(report),
     )
     assert peaks["19/20"] >= peaks["1/2"]

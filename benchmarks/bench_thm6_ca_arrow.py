@@ -4,17 +4,22 @@ Same grid as the AO-ARRoW bench, plus the headline invariant checked
 on every cell: the channel's collision counter is exactly zero.  The
 peak queue cost is compared to the paper's ``2nR^2(rho+1)/(1-rho)``
 bound.
+
+Like the Theorem 3 bench, the grid runs on the :mod:`repro.exec`
+engine — ``REPRO_BENCH_JOBS=4`` parallelizes it bit-identically, and
+``.repro-cache/`` memoizes completed cells (``REPRO_BENCH_NO_CACHE=1``
+to bypass).
 """
 
+import functools
 from fractions import Fraction
 
-from repro.algorithms import CAArrow
-from repro.analysis import assess_stability, ca_queue_bound_L
+from repro.algorithms import AOArrow, CAArrow
+from repro.analysis import ExperimentCell, ca_queue_bound_L, run_grid_report
 from repro.arrivals import BurstyRate
-from repro.core import Simulator, Trace
 from repro.timing import Synchronous, worst_case_for
 
-from .reporting import emit, table
+from .reporting import bench_cache, bench_jobs, emit, grid_meta, table
 
 GRID = [
     (2, 1, "1/2"), (2, 2, "1/2"), (4, 2, "1/2"),
@@ -23,44 +28,65 @@ GRID = [
 ]
 HORIZON = 20_000
 BURST = 3
+STRIDE = 4
+
+
+def _fleet(algorithm, n, R):
+    build = {"ca-arrow": CAArrow, "ao-arrow": AOArrow}[algorithm]
+    return {i: build(i, n, R) for i in range(1, n + 1)}
+
+
+def _adversary(R):
+    return Synchronous() if R == 1 else worst_case_for(R)
+
+
+def _source(n, R, rho):
+    return BurstyRate(
+        rho=rho, burst_size=BURST, targets=list(range(1, n + 1)), assumed_cost=R
+    )
+
+
+def _cell(n, R, rho, algorithm="ca-arrow"):
+    return ExperimentCell(
+        name=f"{algorithm} n={n} R={R} rho={rho}",
+        algorithms=functools.partial(_fleet, algorithm, n, R),
+        slot_adversary=functools.partial(_adversary, R),
+        arrival_source=functools.partial(_source, n, R, rho),
+        max_slot_length=R,
+        horizon=HORIZON,
+        labels={"algorithm": algorithm, "n": str(n), "R": str(R), "rho": rho},
+    )
 
 
 def _run_cell(n, R, rho):
-    algos = {i: CAArrow(i, n, R) for i in range(1, n + 1)}
-    adversary = Synchronous() if R == 1 else worst_case_for(R)
-    source = BurstyRate(
-        rho=rho, burst_size=BURST, targets=list(range(1, n + 1)), assumed_cost=R
-    )
-    trace = Trace(backlog_stride=4)
-    sim = Simulator(
-        algos, adversary, max_slot_length=R, arrival_source=source, trace=trace
-    )
-    sim.run(until_time=HORIZON)
-    samples = trace.backlog_series()
-    samples.append((sim.now, sim.total_backlog))
-    verdict = assess_stability(samples, HORIZON, tolerance=5)
-    return sim, trace, verdict
+    """One cell, engine semantics (kept for ad-hoc timing recipes)."""
+    return run_grid_report([_cell(n, R, rho)], backlog_stride=STRIDE).results[0]
 
 
 def test_queue_bound_and_collision_freedom_grid(benchmark):
     def run():
-        return {(n, R, rho): _run_cell(n, R, rho) for n, R, rho in GRID}
+        return run_grid_report(
+            [_cell(n, R, rho) for n, R, rho in GRID],
+            backlog_stride=STRIDE,
+            jobs=bench_jobs(),
+            cache=bench_cache(),
+        )
 
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = []
     burstiness = BURST * 2
-    for (n, R, rho), (sim, trace, verdict) in results.items():
+    for (n, R, rho), result in zip(GRID, report.results):
         bound = ca_queue_bound_L(n, R, rho, burstiness)
         rows.append(
             (
                 n,
                 R,
                 rho,
-                "stable" if verdict.stable else "UNSTABLE",
-                trace.max_backlog,
+                "stable" if result.stable else "UNSTABLE",
+                result.peak_backlog,
                 f"{float(bound):.0f}",
-                sim.channel.stats.collisions,
-                len(sim.delivered_packets),
+                result.metrics.collisions,
+                result.metrics.delivered,
             )
         )
     emit(
@@ -72,11 +98,12 @@ def test_queue_bound_and_collision_freedom_grid(benchmark):
              "delivered"],
             rows,
         ),
+        meta=grid_meta(report),
     )
-    for (n, R, rho), (sim, trace, verdict) in results.items():
-        assert verdict.stable
-        assert sim.channel.stats.collisions == 0
-        assert trace.max_backlog * Fraction(R) <= ca_queue_bound_L(
+    for (n, R, rho), result in zip(GRID, report.results):
+        assert result.stable
+        assert result.metrics.collisions == 0
+        assert result.peak_backlog * Fraction(R) <= ca_queue_bound_L(
             n, R, rho, burstiness
         )
 
@@ -88,31 +115,26 @@ def test_ca_vs_ao_overhead(benchmark):
     overhead; AO-ARRoW pays elections but sends no control traffic.
     The bench reports both peaks side by side on identical workloads.
     """
-    from repro.algorithms import AOArrow
+    rhos = ("1/2", "9/10")
 
     def run():
-        out = {}
-        for rho in ("1/2", "9/10"):
-            ca = _run_cell(3, 2, rho)
-            algos = {i: AOArrow(i, 3, 2) for i in range(1, 4)}
-            source = BurstyRate(
-                rho=rho, burst_size=BURST, targets=[1, 2, 3], assumed_cost=2
-            )
-            trace = Trace(backlog_stride=4)
-            sim = Simulator(
-                algos, worst_case_for(2), max_slot_length=2,
-                arrival_source=source, trace=trace,
-            )
-            sim.run(until_time=HORIZON)
-            out[rho] = (ca[1].max_backlog, trace.max_backlog,
-                        ca[0].channel.stats.control_transmissions,
-                        sim.channel.stats.collisions)
-        return out
+        cells = [_cell(3, 2, rho, algorithm) for rho in rhos
+                 for algorithm in ("ca-arrow", "ao-arrow")]
+        return run_grid_report(
+            cells, backlog_stride=STRIDE, jobs=bench_jobs(), cache=bench_cache()
+        )
 
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    paired = dict(zip(rhos, zip(report.results[0::2], report.results[1::2])))
     rows = [
-        (rho, ca_peak, ao_peak, ctrl, coll)
-        for rho, (ca_peak, ao_peak, ctrl, coll) in results.items()
+        (
+            rho,
+            ca.peak_backlog,
+            ao.peak_backlog,
+            ca.metrics.control_transmissions,
+            ao.metrics.collisions,
+        )
+        for rho, (ca, ao) in paired.items()
     ]
     emit(
         "thm6_ca_vs_ao_ablation",
@@ -122,8 +144,9 @@ def test_ca_vs_ao_overhead(benchmark):
             ["rho", "CA_peak", "AO_peak", "CA_ctrl_msgs", "AO_collisions"],
             rows,
         ),
+        meta=grid_meta(report),
     )
     # Both bounded; CA's peaks should not exceed AO's by more than noise
     # (the paper's CA bound is asymptotically smaller).
-    for rho, (ca_peak, ao_peak, _, _) in results.items():
-        assert ca_peak <= ao_peak + 10
+    for rho, (ca, ao) in paired.items():
+        assert ca.peak_backlog <= ao.peak_backlog + 10

@@ -22,15 +22,60 @@ caller concatenated title lines around it — and writes::
 Cells that are JSON-native (int/float/bool/str/None) are stored as-is;
 anything else (exact :class:`~fractions.Fraction` values, enums) is
 stored as the same string the text table prints.
+
+A report may also carry a ``meta`` block (``emit(..., meta={...})``) of
+timing/environment facts — wall seconds, jobs, cache hit counts.  Meta
+is *identity-exempt*: ``repro bench diff`` reports its deltas but never
+fails on them, and byte-identity of regenerated artifacts is promised
+for the preamble + tables (and the whole ``.txt``), not for meta.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
-from typing import Any, Dict, Iterable, List, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def bench_jobs(default: int = 1) -> int:
+    """Worker processes for benches that fan out on the exec pool.
+
+    Controlled by ``REPRO_BENCH_JOBS`` (0 = one per core), so
+    ``REPRO_BENCH_JOBS=4 pytest benchmarks/ --benchmark-only`` runs
+    every adopted grid in parallel.  Results are bit-identical at any
+    value — only wall time changes.
+    """
+    raw = os.environ.get("REPRO_BENCH_JOBS", "").strip()
+    return int(raw) if raw else default
+
+
+def bench_cache():
+    """The shared content-addressed cache for bench grids.
+
+    Enabled by default under ``.repro-cache/`` (so a re-run of an
+    unchanged bench is near-instant); disable with
+    ``REPRO_BENCH_NO_CACHE=1`` or point elsewhere with
+    ``REPRO_BENCH_CACHE_DIR``.  Returns None when disabled.
+    """
+    if os.environ.get("REPRO_BENCH_NO_CACHE", "").strip():
+        return None
+    from repro.exec import ResultCache
+
+    return ResultCache(os.environ.get("REPRO_BENCH_CACHE_DIR", ".repro-cache"))
+
+
+def grid_meta(report) -> Dict[str, Any]:
+    """The standard ``meta`` block for a :class:`GridReport`-backed bench."""
+    return {
+        "wall_s": round(report.wall_s, 3),
+        "jobs": report.jobs,
+        "mode": report.mode,
+        "cache_hits": report.cache_hits,
+        "cache_misses": report.cache_misses,
+    }
 
 
 class _TableBlock:
@@ -69,11 +114,15 @@ def _json_cell(cell: Any) -> Any:
     return str(cell)
 
 
-def emit(name: str, lines: Iterable[str]) -> str:
+def emit(
+    name: str, lines: Iterable[str], meta: Optional[Dict[str, Any]] = None
+) -> str:
     """Print a named report block and persist it under results/.
 
     Writes both ``results/<name>.txt`` (the exact text) and
     ``results/<name>.json`` (the same values, machine-readable).
+    ``meta``, when given, lands in the JSON only — timing/environment
+    facts that ``repro bench diff`` reports but never fails on.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     materialized = list(lines)
@@ -95,6 +144,8 @@ def emit(name: str, lines: Iterable[str]) -> str:
         "preamble": preamble,
         "tables": [t.to_dict() for t in tables],
     }
+    if meta:
+        document["meta"] = meta
     (RESULTS_DIR / f"{name}.json").write_text(
         json.dumps(document, indent=2, sort_keys=False) + "\n"
     )

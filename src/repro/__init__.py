@@ -12,6 +12,7 @@ paper's algorithms and adversarial constructions:
 * :mod:`repro.lowerbounds` — executable Theorems 2, 4 and 5;
 * :mod:`repro.analysis` — paper bounds, stability tests, MSR search;
 * :mod:`repro.obs` — probes, metrics, JSONL run artifacts, profiling;
+* :mod:`repro.exec` — process-pool grids/sweeps, result cache, bench diff;
 * :mod:`repro.viz` — ASCII schedule/phase timelines.
 
 Quickstart::
@@ -34,13 +35,25 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import algorithms, analysis, arrivals, core, faults, lowerbounds, obs, timing, viz
+from . import (
+    algorithms,
+    analysis,
+    arrivals,
+    core,
+    exec,
+    faults,
+    lowerbounds,
+    obs,
+    timing,
+    viz,
+)
 
 __all__ = [
     "algorithms",
     "analysis",
     "arrivals",
     "core",
+    "exec",
     "faults",
     "lowerbounds",
     "obs",

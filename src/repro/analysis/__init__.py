@@ -18,9 +18,17 @@ from .bounds import (
     sst_lower_bound_slots,
     thm4_minimum_start_slot,
 )
-from .experiments import CellResult, ExperimentCell, run_cell, run_grid, write_csv
+from .experiments import (
+    CellResult,
+    ExperimentCell,
+    GridReport,
+    run_cell,
+    run_grid,
+    run_grid_report,
+    write_csv,
+)
 from .latency import LatencySummary, latency_by_station, percentile, summarize_latencies
-from .sweeps import SweepStats, sweep_seeds
+from .sweeps import SweepReport, SweepStats, sweep_seeds, sweep_seeds_report
 from .metrics import RunMetrics, collect_metrics
 from .msr import MSREstimate, RateTrial, estimate_msr, run_at_rate
 from .stability import (
@@ -37,6 +45,7 @@ __all__ = [
     "CellResult",
     "ElectionRecord",
     "ExperimentCell",
+    "GridReport",
     "LatencySummary",
     "LemmaViolation",
     "MSREstimate",
@@ -46,6 +55,7 @@ __all__ = [
     "RoundSegment",
     "RunMetrics",
     "StabilityVerdict",
+    "SweepReport",
     "abs_listen_threshold_bit0",
     "abs_listen_threshold_bit1",
     "abs_phase_count",
@@ -73,11 +83,13 @@ __all__ = [
     "run_at_rate",
     "run_cell",
     "run_grid",
+    "run_grid_report",
     "run_instrumented_election",
     "segment_rounds",
     "sst_lower_bound_slots",
     "summarize_latencies",
     "sweep_seeds",
+    "sweep_seeds_report",
     "thm4_minimum_start_slot",
     "utilization",
     "wasted_time",

@@ -1,16 +1,24 @@
 """Command-line interface: run any of the paper's systems from a shell.
 
-Four subcommands cover the repository's surface:
+The subcommands cover the repository's surface:
 
 * ``run``       — dynamic packet transmission (AO-/CA-ARRoW, baselines)
                   under a chosen slot adversary and workload;
+* ``grid``      — an algorithm x rho experiment grid on the
+                  :mod:`repro.exec` process pool (``--jobs``), with
+                  content-addressed result caching (``--no-cache`` to
+                  bypass) and CSV export;
 * ``sst``       — single-successful-transmission / leader election
                   (ABS, unknown-R doubling, randomized);
 * ``adversary`` — execute a theorem construction (Thm 2 mirror,
                   Thm 4 collision forcer, Thm 5 rate-one);
 * ``bounds``    — print every closed-form bound for given parameters;
 * ``diagram``   — print the Fig. 3/5/6 automata as text or Graphviz DOT;
-* ``stats``     — summarize a saved JSONL run artifact.
+* ``stats``     — summarize a saved JSONL run artifact;
+* ``bench``     — benchmark artifact tooling (``bench diff`` compares
+                  two ``benchmarks/results`` directories and exits
+                  nonzero on any value drift);
+* ``cache``     — inspect or clear the ``.repro-cache`` result cache.
 
 Examples::
 
@@ -19,6 +27,10 @@ Examples::
     python -m repro run --algorithm ao-arrow --n 4 --horizon 50000 \
         --metrics --emit-jsonl out.jsonl --progress 10000
     python -m repro stats out.jsonl
+    python -m repro grid --algorithms ca-arrow,ao-arrow --rhos 1/2,9/10 \
+        --n 4 --horizon 20000 --jobs 4 --csv grid.csv
+    python -m repro bench diff results-main benchmarks/results
+    python -m repro cache info
     python -m repro sst --algorithm abs --n 16 --max-slot 2 --schedule random --seed 7
     python -m repro adversary mirror --n 64 --realized-r 4
     python -m repro bounds --n 8 --max-slot 2 --rho 3/4 --burstiness 2
@@ -27,6 +39,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence
@@ -103,18 +116,20 @@ def _make_fleet(name: str, n: int, max_slot, seed: int) -> Dict[int, StationAlgo
     return {i: build(i) for i in range(1, n + 1)}
 
 
+def _make_source(rho, burst: int, n: int, max_slot):
+    targets = list(range(1, n + 1))
+    if burst > 1:
+        return BurstyRate(
+            rho=rho, burst_size=burst, targets=targets, assumed_cost=max_slot
+        )
+    return UniformRate(rho=rho, targets=targets, assumed_cost=max_slot)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     max_slot = as_time(args.max_slot)
     fleet = _make_fleet(args.algorithm, args.n, max_slot, args.seed)
     schedule = _make_schedule(args.schedule, max_slot, args.seed)
-    targets = list(range(1, args.n + 1))
-    if args.burst > 1:
-        source = BurstyRate(
-            rho=args.rho, burst_size=args.burst, targets=targets,
-            assumed_cost=max_slot,
-        )
-    else:
-        source = UniformRate(rho=args.rho, targets=targets, assumed_cost=max_slot)
+    source = _make_source(args.rho, args.burst, args.n, max_slot)
 
     observing = args.metrics or args.emit_jsonl or args.progress
     bus = ProbeBus() if observing else None
@@ -193,6 +208,105 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     stats = summarize_run(artifact)
     for line in render_summary(stats):
         print(line)
+    return 0
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    from .analysis import ExperimentCell, run_grid_report, write_csv
+    from .exec import ResultCache
+
+    max_slot = as_time(args.max_slot)
+    algorithms = [name.strip() for name in args.algorithms.split(",") if name.strip()]
+    rhos = [rho.strip() for rho in args.rhos.split(",") if rho.strip()]
+    if not algorithms or not rhos:
+        raise SystemExit("--algorithms and --rhos must each name at least one value")
+    cells = []
+    for algorithm in algorithms:
+        _make_fleet(algorithm, 1, max_slot, args.seed)  # validate the name early
+        for rho in rhos:
+            cells.append(
+                ExperimentCell(
+                    name=f"{algorithm}@rho={rho}",
+                    algorithms=functools.partial(
+                        _make_fleet, algorithm, args.n, max_slot, args.seed
+                    ),
+                    slot_adversary=functools.partial(
+                        _make_schedule, args.schedule, max_slot, args.seed
+                    ),
+                    arrival_source=functools.partial(
+                        _make_source, rho, args.burst, args.n, max_slot
+                    ),
+                    max_slot_length=max_slot,
+                    horizon=args.horizon,
+                    labels={"algorithm": algorithm, "rho": rho},
+                )
+            )
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    progress = None
+    if args.progress:
+        progress = ProgressReporter(every_events=1, min_interval_s=1.0)
+    report = run_grid_report(
+        cells,
+        backlog_stride=args.backlog_stride,
+        jobs=args.jobs,
+        cache=cache,
+        progress=progress,
+    )
+    header = (
+        f"{'name':<24} {'stable':<8} {'delivered':>9} {'backlog':>7} "
+        f"{'peak':>5} {'coll':>5} {'thr':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    for result in report.results:
+        print(
+            f"{result.name:<24} "
+            f"{'stable' if result.stable else 'UNSTABLE':<8} "
+            f"{result.metrics.delivered:>9} {result.metrics.backlog:>7} "
+            f"{result.peak_backlog:>5} {result.metrics.collisions:>5} "
+            f"{float(result.metrics.throughput_cost):>7.3f}"
+        )
+    cache_note = (
+        f"cache: {report.cache_hits} hit / {report.cache_misses} miss "
+        f"({args.cache_dir})"
+        if cache is not None
+        else "cache: disabled"
+    )
+    print(
+        f"grid: {len(report.results)} cells in {report.wall_s:.2f}s "
+        f"jobs={report.jobs} mode={report.mode} | {cache_note}"
+    )
+    if args.csv:
+        write_csv(report.results, args.csv)
+        print(f"csv:  {args.csv}")
+    return 0
+
+
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    from .exec import diff_results
+
+    try:
+        report = diff_results(args.old, args.new)
+    except FileNotFoundError as exc:
+        raise SystemExit(str(exc)) from None
+    for line in report.render():
+        print(line)
+    return report.exit_code()
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .exec import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.cache_command == "clear":
+        dropped = cache.clear()
+        print(f"cleared {dropped} cached results from {cache.root}")
+        return 0
+    entries = list(cache.entries())
+    print(f"root:    {cache.root}")
+    print(f"entries: {len(entries)}")
+    print(f"size:    {cache.size_bytes()} bytes")
+    print(f"salt:    {cache.salt[:16]}… (changes with any repro source edit)")
     return 0
 
 
@@ -348,6 +462,51 @@ def build_parser() -> argparse.ArgumentParser:
     stats_p = sub.add_parser("stats", help="summarize a saved JSONL run")
     stats_p.add_argument("artifact", help="path to a --emit-jsonl artifact")
     stats_p.set_defaults(handler=_cmd_stats)
+
+    grid_p = sub.add_parser(
+        "grid", help="run an algorithm x rho experiment grid (parallel, cached)"
+    )
+    grid_p.add_argument("--algorithms", default="ca-arrow,ao-arrow",
+                        help="comma-separated algorithm names")
+    grid_p.add_argument("--rhos", default="3/10,1/2,7/10,9/10",
+                        help="comma-separated injection rates")
+    grid_p.add_argument("--n", type=int, default=4)
+    grid_p.add_argument("--max-slot", default="2", help="the bound R")
+    grid_p.add_argument("--burst", type=int, default=1)
+    grid_p.add_argument("--horizon", default="5000")
+    grid_p.add_argument("--schedule", default="worst")
+    grid_p.add_argument("--seed", type=int, default=0)
+    grid_p.add_argument("--backlog-stride", type=int, default=8,
+                        help="trace sampling stride (passed to every cell)")
+    grid_p.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (0 = one per CPU core)")
+    grid_p.add_argument("--no-cache", action="store_true",
+                        help="bypass the content-addressed result cache")
+    grid_p.add_argument("--cache-dir", default=".repro-cache")
+    grid_p.add_argument("--csv", metavar="PATH", help="also write results as CSV")
+    grid_p.add_argument("--progress", action="store_true",
+                        help="report per-cell progress on stderr")
+    grid_p.set_defaults(handler=_cmd_grid)
+
+    bench_p = sub.add_parser("bench", help="benchmark artifact tooling")
+    bench_sub = bench_p.add_subparsers(dest="bench_command", required=True)
+    bdiff_p = bench_sub.add_parser(
+        "diff",
+        help="compare two results directories; nonzero exit on value drift",
+    )
+    bdiff_p.add_argument("old", help="baseline benchmarks/results directory")
+    bdiff_p.add_argument("new", help="candidate benchmarks/results directory")
+    bdiff_p.set_defaults(handler=_cmd_bench_diff)
+
+    cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    for name, blurb in (
+        ("info", "entry count, size, code salt"),
+        ("clear", "drop every cached result"),
+    ):
+        cache_cmd = cache_sub.add_parser(name, help=blurb)
+        cache_cmd.add_argument("--cache-dir", default=".repro-cache")
+        cache_cmd.set_defaults(handler=_cmd_cache)
 
     sst_p = sub.add_parser("sst", help="leader election / SST")
     sst_p.add_argument("--algorithm", default="abs")

@@ -1,0 +1,51 @@
+"""Execution engine: parallel task pools, result caching, bench diffs.
+
+The layer between "a list of independent simulation configurations"
+and "results, fast".  Three pieces, composable but independently
+usable:
+
+* :mod:`repro.exec.pool` — :func:`run_tasks`, a fork-based process
+  pool with deterministic sharding: output is bit-identical whatever
+  ``jobs`` is, because results are re-assembled in submission order
+  and exact :class:`~fractions.Fraction` values pickle losslessly.
+* :mod:`repro.exec.cache` — :class:`ResultCache`, a content-addressed
+  store under ``.repro-cache/`` keyed by a canonical fingerprint of
+  each task's configuration plus a hash of the ``repro`` sources (so
+  editing code invalidates everything automatically).
+* :mod:`repro.exec.diff` — :func:`diff_results`, the engine behind
+  ``repro bench diff``: compares two ``benchmarks/results`` artifact
+  directories table-by-table and fails on any value drift.
+
+The high-level entry points most callers want live one layer up, in
+:mod:`repro.analysis`: ``run_grid(cells, jobs=4, cache=...)`` and
+``sweep_seeds(measure, seeds, jobs=4)`` delegate here.  See
+``docs/experiments.md`` for the end-to-end workflow.
+"""
+
+from .cache import (
+    MISS,
+    ResultCache,
+    UncacheableValue,
+    canonical_key,
+    code_salt,
+    fingerprint,
+)
+from .diff import DiffReport, ReportDiff, diff_results, load_results
+from .pool import PoolRun, fork_available, resolve_jobs, run_tasks
+
+__all__ = [
+    "DiffReport",
+    "MISS",
+    "PoolRun",
+    "ReportDiff",
+    "ResultCache",
+    "UncacheableValue",
+    "canonical_key",
+    "code_salt",
+    "diff_results",
+    "fingerprint",
+    "fork_available",
+    "load_results",
+    "resolve_jobs",
+    "run_tasks",
+]

@@ -1,0 +1,271 @@
+"""Content-addressed result cache for experiment cells and sweep samples.
+
+Re-running an unchanged grid should cost nothing.  Each task (one
+experiment cell, one seed sample) is keyed by a SHA-256 over its
+*canonicalized* configuration — algorithm factories, adversary, rate,
+horizon, seed, backlog stride — plus a **code-version salt**: a hash
+of every ``repro`` source file.  Any change to the package's code, or
+to any knob that could change the simulation, changes the key; the old
+entries simply stop being addressed (content addressing *is* the
+invalidation rule).  Explicit invalidation is still available via
+:meth:`ResultCache.invalidate` / :meth:`ResultCache.clear` and the
+``repro cache clear`` CLI, and every consumer exposes a ``--no-cache``
+escape hatch.
+
+Entries are pickled (protocol-highest) under ``.repro-cache/`` —
+pickle, not JSON, because results carry exact
+:class:`~fractions.Fraction` values that must round-trip losslessly::
+
+    .repro-cache/
+      ab/abcdef0123....pkl      # two-level fan-out by key prefix
+
+Fingerprinting callables: factories are usually lambdas closing over
+plain values (``n``, ``R``, ``"1/2"``).  A function is fingerprinted
+by its qualified name, bytecode, constants, default arguments, and the
+values in its closure (recursively).  Anything whose identity cannot
+be captured stably — an object whose ``repr`` embeds a memory address,
+an open file — raises :class:`UncacheableValue`; callers treat that
+task as simply not cacheable and execute it every time.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import pickle
+import shutil
+import types
+from fractions import Fraction
+from pathlib import Path
+from typing import Any, Dict, Iterator, Mapping, Optional
+
+__all__ = [
+    "MISS",
+    "ResultCache",
+    "UncacheableValue",
+    "canonical_key",
+    "code_salt",
+    "fingerprint",
+]
+
+
+class UncacheableValue(ValueError):
+    """A value whose content cannot be fingerprinted stably."""
+
+
+class _Miss:
+    """Sentinel distinguishing 'not cached' from a cached ``None``."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<cache MISS>"
+
+
+MISS = _Miss()
+
+
+def _code_fingerprint(code: types.CodeType) -> Dict[str, Any]:
+    """Stable content description of a code object (recursive)."""
+    return {
+        "name": code.co_name,
+        "bytecode": hashlib.sha256(code.co_code).hexdigest(),
+        "consts": [
+            _code_fingerprint(const)
+            if isinstance(const, types.CodeType)
+            else fingerprint(const)
+            for const in code.co_consts
+        ],
+        "names": list(code.co_names),
+    }
+
+
+def _function_fingerprint(fn: types.FunctionType) -> Dict[str, Any]:
+    closure = [
+        fingerprint(cell.cell_contents) for cell in (fn.__closure__ or ())
+    ]
+    return {
+        "kind": "function",
+        "module": fn.__module__,
+        "qualname": fn.__qualname__,
+        "code": _code_fingerprint(fn.__code__),
+        "closure": closure,
+        "defaults": fingerprint(fn.__defaults__),
+        "kwdefaults": fingerprint(fn.__kwdefaults__),
+    }
+
+
+def fingerprint(value: Any) -> Any:
+    """Canonical, JSON-serializable content description of ``value``.
+
+    Equal configurations map to equal fingerprints across processes
+    and runs; configurations that differ in any behavior-relevant way
+    map to different ones.  Raises :class:`UncacheableValue` when no
+    stable description exists.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return {"float": repr(value)}
+    if isinstance(value, Fraction):
+        return {"fraction": str(value)}
+    if isinstance(value, bytes):
+        return {"bytes": hashlib.sha256(value).hexdigest()}
+    if isinstance(value, (list, tuple)):
+        return [fingerprint(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return {"set": sorted(json.dumps(fingerprint(v), sort_keys=True) for v in value)}
+    if isinstance(value, Mapping):
+        return {
+            "mapping": {
+                json.dumps(fingerprint(k), sort_keys=True): fingerprint(v)
+                for k, v in value.items()
+            }
+        }
+    if isinstance(value, functools.partial):
+        return {
+            "kind": "partial",
+            "func": fingerprint(value.func),
+            "args": fingerprint(value.args),
+            "keywords": fingerprint(value.keywords),
+        }
+    if isinstance(value, types.FunctionType):  # includes lambdas & closures
+        return _function_fingerprint(value)
+    if isinstance(value, types.MethodType):
+        return {
+            "kind": "method",
+            "func": _function_fingerprint(value.__func__),
+            "self": fingerprint(value.__self__),
+        }
+    if isinstance(value, type):
+        return {"kind": "class", "module": value.__module__, "qualname": value.__qualname__}
+    if isinstance(value, types.BuiltinFunctionType):
+        return {"kind": "builtin", "module": value.__module__, "name": value.__qualname__}
+    # Arbitrary instances: their attribute dict, when they have one,
+    # plus the class identity; otherwise a repr that must be stable.
+    state = getattr(value, "__dict__", None)
+    if state is not None:
+        return {
+            "kind": "instance",
+            "class": f"{type(value).__module__}.{type(value).__qualname__}",
+            "state": fingerprint(state),
+        }
+    text = repr(value)
+    if " at 0x" in text or "object at" in text:
+        raise UncacheableValue(
+            f"cannot fingerprint {type(value).__qualname__}: repr embeds identity"
+        )
+    return {"kind": "repr", "class": type(value).__qualname__, "text": text}
+
+
+def canonical_key(payload: Mapping[str, Any], salt: str = "") -> str:
+    """SHA-256 hex digest of a canonicalized payload (plus a salt)."""
+    document = {"salt": salt, "payload": fingerprint(payload)}
+    blob = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+_CODE_SALT: Optional[str] = None
+
+
+def code_salt() -> str:
+    """Hash of every ``repro`` source file — the code-version salt.
+
+    Computed once per process.  Because the salt is folded into every
+    cache key, editing any module under ``src/repro/`` atomically
+    invalidates the entire cache: stale results are never addressed
+    again.
+    """
+    global _CODE_SALT
+    if _CODE_SALT is None:
+        package_root = Path(__file__).resolve().parents[1]
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _CODE_SALT = digest.hexdigest()
+    return _CODE_SALT
+
+
+class ResultCache:
+    """Pickle-backed content-addressed store under one root directory.
+
+    >>> import tempfile
+    >>> cache = ResultCache(tempfile.mkdtemp(), salt="s1")
+    >>> key = cache.key_for({"kind": "demo", "n": 3})
+    >>> cache.get(key) is MISS
+    True
+    >>> cache.put(key, Fraction(22, 7))
+    >>> cache.get(key)
+    Fraction(22, 7)
+    >>> (cache.hits, cache.misses, cache.stores)
+    (1, 1, 1)
+    """
+
+    def __init__(
+        self, root: "str | Path" = ".repro-cache", *, salt: Optional[str] = None
+    ) -> None:
+        self.root = Path(root)
+        self.salt = code_salt() if salt is None else salt
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def key_for(self, payload: Mapping[str, Any]) -> str:
+        """Content-address a task configuration (salt included)."""
+        return canonical_key(payload, salt=self.salt)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Any:
+        """The cached value, or :data:`MISS`.  Corrupt entries = miss."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return MISS
+        except Exception:
+            # Truncated write, version skew — drop it and recompute.
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return MISS
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Persist atomically (write-then-rename) under the key."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        scratch = path.with_suffix(f".tmp.{id(self)}")
+        with open(scratch, "wb") as handle:
+            pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        scratch.replace(path)
+        self.stores += 1
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry; True if it existed."""
+        path = self.path_for(key)
+        existed = path.exists()
+        path.unlink(missing_ok=True)
+        return existed
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number dropped."""
+        dropped = sum(1 for _ in self.entries())
+        if self.root.exists():
+            shutil.rmtree(self.root)
+        return dropped
+
+    def entries(self) -> Iterator[Path]:
+        """Every persisted entry file currently on disk."""
+        if self.root.exists():
+            yield from sorted(self.root.glob("*/*.pkl"))
+
+    def size_bytes(self) -> int:
+        return sum(path.stat().st_size for path in self.entries())

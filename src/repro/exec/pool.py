@@ -1,0 +1,170 @@
+"""Process-pool task execution with deterministic reassembly.
+
+Every sweep and experiment grid in this repository is embarrassingly
+parallel: cells are independent simulations that share no state.  This
+module turns a list of zero-argument task callables into a list of
+results, either serially or across a ``ProcessPoolExecutor``, with one
+hard guarantee: **the output is bit-identical regardless of ``jobs``**.
+
+Determinism comes from two rules:
+
+1. *Deterministic sharding* — tasks are identified by their submission
+   index; whatever order workers finish in, results are re-assembled
+   in submission order, so ``jobs=4`` output equals ``jobs=1`` output
+   element-for-element (exact :class:`~fractions.Fraction` values
+   included — they pickle losslessly).
+2. *No shared mutable state* — each task runs in a forked child that
+   inherits the parent's memory at pool creation and returns a single
+   picklable value.  Tasks must not rely on side effects in the
+   parent.
+
+The pool uses the ``fork`` start method so task *closures* (lambdas
+over ``n, R, rho`` and friends — the idiom everywhere in
+``benchmarks/``) never need to be pickled: workers inherit the task
+list via fork and are sent only integer indices.  On platforms
+without fork (Windows, some macOS configurations) — or when
+``jobs=1`` — execution falls back to a plain serial loop with the
+same semantics.
+
+Worker-side observability: each task may build its own
+:class:`repro.obs.SimulationMetrics` pack and fold its snapshot into
+the returned value; :func:`run_tasks` additionally records which
+worker (pid) ran each task so callers can aggregate per-worker.  The
+parent reports progress through the existing rate-limited
+:class:`repro.obs.ProgressReporter` via its :meth:`tick` hook.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..obs.profiling import ProgressReporter
+
+#: Task list the forked workers inherit; only indices cross the pipe.
+_FORK_TASKS: Optional[Sequence[Callable[[], Any]]] = None
+
+
+def fork_available() -> bool:
+    """Whether the deterministic fork-based pool can run here."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``jobs`` request: ``None``/``0`` means all cores."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0 (0 = all cores), got {jobs}")
+    return jobs
+
+
+def _run_indexed(index: int) -> Tuple[int, int, Any]:
+    """Worker body: execute one inherited task by submission index."""
+    assert _FORK_TASKS is not None, "worker forked without a task list"
+    return index, os.getpid(), _FORK_TASKS[index]()
+
+
+@dataclass(slots=True)
+class PoolRun:
+    """Outcome of one :func:`run_tasks` call.
+
+    ``values`` is in submission order.  ``workers`` maps each worker
+    pid to the number of tasks it completed (a single entry — the
+    parent pid — for serial runs).  ``task_workers[i]`` is the pid
+    that ran task ``i``.
+    """
+
+    values: List[Any]
+    jobs: int
+    mode: str  # "serial" | "fork-pool"
+    wall_s: float
+    workers: Dict[int, int] = field(default_factory=dict)
+    task_workers: List[int] = field(default_factory=list)
+
+
+def run_tasks(
+    tasks: Sequence[Callable[[], Any]],
+    jobs: int = 1,
+    *,
+    progress: Optional[ProgressReporter] = None,
+    label: str = "tasks",
+) -> PoolRun:
+    """Run every task; return results re-assembled in submission order.
+
+    ``jobs=1`` (the default) runs serially in-process.  ``jobs>1``
+    runs on a fork-based process pool when the platform supports it
+    and falls back to serial otherwise — same results either way.
+    ``jobs=0``/``None`` means one job per CPU core.
+
+    ``progress``, when given, is ticked once per completed task; its
+    rate limiting (``every_events`` / ``min_interval_s``) applies
+    unchanged.
+    """
+    global _FORK_TASKS
+    jobs = resolve_jobs(jobs)
+    tasks = list(tasks)
+    started = time.perf_counter()
+    total = len(tasks)
+
+    def describe(reporter: ProgressReporter) -> str:
+        return (
+            f"[repro] {label} {reporter.events}/{total} done "
+            f"rate={reporter.window_rate:.2f}/s"
+        )
+
+    # Serial path: jobs=1, nothing to do, no fork, or we *are* a worker
+    # (nested run_tasks inside a task must not fork a pool of its own).
+    if jobs == 1 or total <= 1 or not fork_available() or _FORK_TASKS is not None:
+        pid = os.getpid()
+        values = []
+        for task in tasks:
+            values.append(task())
+            if progress is not None:
+                progress.tick(describe)
+        return PoolRun(
+            values=values,
+            jobs=1,
+            mode="serial",
+            wall_s=time.perf_counter() - started,
+            workers={pid: total} if total else {},
+            task_workers=[pid] * total,
+        )
+
+    context = multiprocessing.get_context("fork")
+    _FORK_TASKS = tasks
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, total), mp_context=context
+        ) as executor:
+            futures = [executor.submit(_run_indexed, i) for i in range(total)]
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                if progress is not None:
+                    for _ in done:
+                        progress.tick(describe)
+            # Re-assemble in submission order — the determinism contract.
+            outcomes = [future.result() for future in futures]
+    finally:
+        _FORK_TASKS = None
+
+    values: List[Any] = [None] * total
+    task_workers: List[int] = [0] * total
+    workers: Dict[int, int] = {}
+    for index, pid, value in outcomes:
+        values[index] = value
+        task_workers[index] = pid
+        workers[pid] = workers.get(pid, 0) + 1
+    return PoolRun(
+        values=values,
+        jobs=jobs,
+        mode="fork-pool",
+        wall_s=time.perf_counter() - started,
+        workers=workers,
+        task_workers=task_workers,
+    )

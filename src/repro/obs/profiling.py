@@ -116,24 +116,51 @@ class ProgressReporter:
         self._started = self._clock()
         self._last_report = self._started
         self._last_events = 0
+        self._window_rate = 0.0
         self.reports_emitted = 0
 
-    def _on_slot_end(self, event: SlotEndEvent) -> None:
+    @property
+    def events(self) -> int:
+        """Events counted so far (ticks, not reports)."""
+        return self._events
+
+    @property
+    def window_rate(self) -> float:
+        """Events/sec over the window ending at the last report."""
+        return self._window_rate
+
+    def tick(self, describe: Callable[["ProgressReporter"], str]) -> None:
+        """Count one event; maybe emit ``describe(self)`` as a line.
+
+        This is the generic rate-limited core: ``every_events`` bounds
+        how often the wall clock is consulted, ``min_interval_s``
+        rate-limits actual output.  The slot-end subscription uses it,
+        and so does :mod:`repro.exec.pool` for per-cell grid progress
+        — one reporter, one cadence, whatever drives it.
+        """
         self._events += 1
         if self._events % self.every_events:
             return
         now = self._clock()
         if now - self._last_report < self.min_interval_s:
             return
-        window_eps = (self._events - self._last_events) / (now - self._last_report)
-        self.stream.write(
-            f"[repro] events={self._events} t={float(event.interval.end):.1f} "
-            f"backlog={event.backlog} rate={window_eps:.0f} ev/s\n"
+        self._window_rate = (self._events - self._last_events) / (
+            now - self._last_report
         )
+        self.stream.write(describe(self) + "\n")
         self.stream.flush()
         self._last_report = now
         self._last_events = self._events
         self.reports_emitted += 1
+
+    def _on_slot_end(self, event: SlotEndEvent) -> None:
+        self.tick(
+            lambda reporter: (
+                f"[repro] events={reporter.events} "
+                f"t={float(event.interval.end):.1f} "
+                f"backlog={event.backlog} rate={reporter.window_rate:.0f} ev/s"
+            )
+        )
 
     def attach(self, bus: ProbeBus) -> Callable[[], None]:
         """Subscribe to ``slot_end``; returns an unsubscriber."""

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.algorithms",
     "repro.lowerbounds",
     "repro.analysis",
+    "repro.exec",
     "repro.faults",
     "repro.obs",
     "repro.viz",

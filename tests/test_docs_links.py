@@ -1,0 +1,49 @@
+"""Tests for tools/check_links.py and the repo's actual doc links."""
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_links  # noqa: E402
+
+
+class TestLinkExtraction:
+    def test_finds_inline_links_and_images(self):
+        text = "see [a](docs/a.md) and ![img](fig.png) and [b](b.md#anchor)"
+        assert check_links.relative_targets(text) == [
+            "docs/a.md", "fig.png", "b.md#anchor"
+        ]
+
+    def test_skips_absolute_and_anchor_only(self):
+        text = "[x](https://example.com) [y](mailto:a@b) [z](#section)"
+        assert check_links.relative_targets(text) == []
+
+
+class TestBrokenLinks:
+    def make_docs(self, root):
+        (root / "docs").mkdir()
+        (root / "README.md").write_text("[ok](docs/page.md) [anchored](docs/page.md#top)")
+        (root / "docs" / "page.md").write_text("[up](../README.md)")
+
+    def test_clean_tree_passes(self, tmp_path):
+        self.make_docs(tmp_path)
+        assert check_links.broken_links(tmp_path) == []
+        assert check_links.main(["check_links", str(tmp_path)]) == 0
+
+    def test_dangling_target_reported(self, tmp_path, capsys):
+        self.make_docs(tmp_path)
+        (tmp_path / "docs" / "page.md").write_text("[gone](missing.md)")
+        failures = check_links.broken_links(tmp_path)
+        assert [(d.name, t) for d, t in failures] == [("page.md", "missing.md")]
+        assert check_links.main(["check_links", str(tmp_path)]) == 1
+        assert "missing.md" in capsys.readouterr().out
+
+    def test_empty_root_is_an_error(self, tmp_path):
+        assert check_links.main(["check_links", str(tmp_path)]) == 2
+
+
+class TestRepoDocs:
+    def test_every_repo_doc_link_resolves(self):
+        assert check_links.broken_links(REPO_ROOT) == []

@@ -1,0 +1,323 @@
+"""Tests for the execution engine: pool, cache, and bench diff.
+
+Covers the engine's contract surface: deterministic sharding
+(parallel == serial, element for element), content-addressed cache
+hits that skip re-execution, stride passthrough from ``run_grid``,
+and the ``repro bench diff`` verdicts (identical / changed / missing).
+"""
+
+import io
+import json
+import pickle
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import CAArrow
+from repro.analysis import (
+    ExperimentCell,
+    run_cell,
+    run_grid,
+    run_grid_report,
+    sweep_seeds,
+    sweep_seeds_report,
+)
+from repro.arrivals import UniformRate
+from repro.exec import (
+    MISS,
+    ResultCache,
+    UncacheableValue,
+    canonical_key,
+    diff_results,
+    fingerprint,
+    fork_available,
+    resolve_jobs,
+    run_tasks,
+)
+from repro.obs import ProgressReporter
+from repro.timing import worst_case_for
+
+
+def cell(name="demo", rho="1/2", R=2, horizon=900, labels=None):
+    n = 3
+    return ExperimentCell(
+        name=name,
+        algorithms=lambda: {i: CAArrow(i, n, R) for i in range(1, n + 1)},
+        slot_adversary=lambda: worst_case_for(R),
+        arrival_source=lambda: UniformRate(
+            rho=rho, targets=[1, 2, 3], assumed_cost=R
+        ),
+        max_slot_length=R,
+        horizon=horizon,
+        labels=labels or {"rho": rho},
+    )
+
+
+# Module-level so the cache fingerprints it by code, not by a closure
+# whose captured counter would change the key on every call.
+MEASURE_CALLS = {"count": 0}
+
+
+def counting_measure(seed):
+    MEASURE_CALLS["count"] += 1
+    return Fraction(seed % 5, 7)
+
+
+class TestPool:
+    def test_serial_mode_for_jobs_one(self):
+        run = run_tasks([lambda: 1, lambda: 2], jobs=1)
+        assert run.values == [1, 2]
+        assert run.mode == "serial"
+
+    def test_parallel_matches_serial_order(self):
+        tasks = [lambda k=k: k * k for k in range(7)]
+        serial = run_tasks(tasks, jobs=1)
+        parallel = run_tasks(tasks, jobs=3)
+        assert parallel.values == serial.values == [k * k for k in range(7)]
+        if fork_available():
+            assert parallel.mode == "fork-pool"
+
+    def test_single_task_stays_serial(self):
+        run = run_tasks([lambda: "only"], jobs=4)
+        assert run.mode == "serial"
+        assert run.values == ["only"]
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(None) >= 1
+
+    def test_worker_error_propagates(self):
+        def boom():
+            raise RuntimeError("worker failed")
+
+        with pytest.raises(RuntimeError, match="worker failed"):
+            run_tasks([boom], jobs=1)
+        if fork_available():
+            with pytest.raises(RuntimeError, match="worker failed"):
+                run_tasks([boom, lambda: 1], jobs=2)
+
+    def test_progress_ticks_per_task(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            every_events=1, min_interval_s=0.0, stream=stream
+        )
+        run_tasks([lambda: 1, lambda: 2, lambda: 3], jobs=1, progress=reporter)
+        assert reporter.events == 3
+        assert reporter.reports_emitted >= 1
+        assert "3/3" in stream.getvalue()
+
+
+class TestFingerprint:
+    def test_equal_configs_equal_keys(self):
+        payload = lambda: {"kind": "x", "rho": Fraction(1, 2), "horizon": 100}
+        assert canonical_key(payload(), "s") == canonical_key(payload(), "s")
+
+    def test_salt_changes_key(self):
+        payload = {"kind": "x", "n": 4}
+        assert canonical_key(payload, "a") != canonical_key(payload, "b")
+
+    def test_closure_values_distinguish_lambdas(self):
+        def make(rho):
+            return lambda: rho
+
+        assert fingerprint(make("1/2")) != fingerprint(make("9/10"))
+        assert fingerprint(make("1/2")) == fingerprint(make("1/2"))
+
+    def test_fraction_exactness(self):
+        assert fingerprint(Fraction(1, 3)) != fingerprint(1 / 3)
+        assert fingerprint(Fraction(2, 6)) == fingerprint(Fraction(1, 3))
+
+    def test_default_repr_objects_rejected(self):
+        class Opaque:
+            __slots__ = ()
+
+        with pytest.raises(UncacheableValue):
+            fingerprint({"obj": Opaque()})
+
+
+class TestResultCache:
+    def test_roundtrip_preserves_fractions(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", salt="s")
+        key = cache.key_for({"kind": "t", "value": 1})
+        assert cache.get(key) is MISS
+        cache.put(key, {"peak": Fraction(22, 7)})
+        assert cache.get(key) == {"peak": Fraction(22, 7)}
+        assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
+
+    def test_invalidate_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", salt="s")
+        keys = [cache.key_for({"kind": "t", "value": k}) for k in range(3)]
+        for key in keys:
+            cache.put(key, key)
+        assert cache.invalidate(keys[0])
+        assert not cache.invalidate(keys[0])
+        assert cache.get(keys[0]) is MISS
+        assert cache.clear() == 2
+        assert list(cache.entries()) == []
+
+    def test_corrupt_entry_treated_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", salt="s")
+        key = cache.key_for({"kind": "t"})
+        cache.put(key, "fine")
+        cache.path_for(key).write_bytes(b"not a pickle")
+        assert cache.get(key) is MISS
+        assert not cache.path_for(key).exists()
+
+
+class TestGridEngine:
+    def test_parallel_grid_equals_serial_elementwise(self):
+        cells = [cell(name="a", rho="1/4"), cell(name="b", rho="1/2")]
+        serial = run_grid(cells, jobs=1)
+        parallel = run_grid(cells, jobs=2)
+        assert len(parallel) == len(serial) == 2
+        for left, right in zip(serial, parallel):
+            # Frozen dataclasses: == compares every field, including the
+            # exact-Fraction metrics that crossed the worker pipe.
+            assert left == right
+
+    def test_parallel_sweep_equals_serial(self):
+        seeds = list(range(6))
+        assert sweep_seeds(counting_measure, seeds, jobs=3) == sweep_seeds(
+            counting_measure, seeds, jobs=1
+        )
+
+    def test_backlog_stride_passthrough(self):
+        # Regression: run_grid used to drop backlog_stride on the floor.
+        spec = cell(rho="9/10", horizon=1500)
+        direct = run_cell(spec, backlog_stride=3)
+        via_grid = run_grid([spec], backlog_stride=3)[0]
+        assert via_grid == direct
+        coarse = run_grid([spec], backlog_stride=500)[0]
+        assert coarse.peak_backlog <= direct.peak_backlog
+
+    def test_warm_cache_skips_execution(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", salt="pinned")
+        seeds = [1, 2, 3]
+        MEASURE_CALLS["count"] = 0
+        cold = sweep_seeds_report(counting_measure, seeds, jobs=1, cache=cache)
+        assert MEASURE_CALLS["count"] == 3
+        assert (cold.cache_hits, cold.cache_misses) == (0, 3)
+        warm = sweep_seeds_report(counting_measure, seeds, jobs=1, cache=cache)
+        assert MEASURE_CALLS["count"] == 3  # nothing re-ran
+        assert (warm.cache_hits, warm.cache_misses) == (3, 0)
+        assert warm.stats == cold.stats
+
+    def test_warm_grid_cache_hits(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", salt="pinned")
+        cells = [cell(name="a", rho="1/4")]
+        cold = run_grid_report(cells, cache=cache)
+        warm = run_grid_report(cells, cache=cache)
+        assert (cold.cache_hits, cold.cache_misses) == (0, 1)
+        assert (warm.cache_hits, warm.cache_misses) == (1, 0)
+        assert warm.results == cold.results
+
+    def test_cell_results_pickle_exactly(self):
+        result = run_cell(cell(horizon=600))
+        assert pickle.loads(pickle.dumps(result)) == result
+
+    def test_collect_metrics_aggregates_workers(self):
+        report = run_grid_report(
+            [cell(name="a", rho="1/4"), cell(name="b", rho="1/2")],
+            collect_metrics=True,
+        )
+        delivered = sum(r.metrics.delivered for r in report.results)
+        assert report.aggregate_counter("delivered") == delivered
+
+
+def write_report(directory, name, rows, wall_s=1.0):
+    directory.mkdir(parents=True, exist_ok=True)
+    document = {
+        "name": name,
+        "preamble": [f"{name} title"],
+        "tables": [{"headers": ["n", "peak"], "rows": rows}],
+        "meta": {"wall_s": wall_s, "jobs": 1},
+    }
+    (directory / f"{name}.json").write_text(json.dumps(document))
+
+
+class TestBenchDiff:
+    def test_identical_directories_are_clean(self, tmp_path):
+        for d in ("old", "new"):
+            write_report(tmp_path / d, "thm", [[2, 16], [4, 30]], wall_s=d == "new")
+        report = diff_results(tmp_path / "old", tmp_path / "new")
+        assert report.clean
+        assert report.exit_code() == 0
+        # meta drift is reported but never fatal
+        assert report.entries[0].status == "identical"
+
+    def test_changed_value_fails_and_is_located(self, tmp_path):
+        write_report(tmp_path / "old", "thm", [[2, 16], [4, 30]])
+        write_report(tmp_path / "new", "thm", [[2, 16], [4, 31]])
+        report = diff_results(tmp_path / "old", tmp_path / "new")
+        assert not report.clean
+        assert report.exit_code() == 1
+        assert report.entries[0].status == "changed"
+        rendered = "\n".join(report.render())
+        assert "30 -> 31" in rendered
+
+    def test_missing_report_fails(self, tmp_path):
+        write_report(tmp_path / "old", "thm", [[2, 16]])
+        write_report(tmp_path / "old", "gone", [[1, 1]])
+        write_report(tmp_path / "new", "thm", [[2, 16]])
+        report = diff_results(tmp_path / "old", tmp_path / "new")
+        assert report.exit_code() == 1
+        assert {e.status for e in report.entries} == {"identical", "missing"}
+
+    def test_added_report_does_not_fail(self, tmp_path):
+        write_report(tmp_path / "old", "thm", [[2, 16]])
+        write_report(tmp_path / "new", "thm", [[2, 16]])
+        write_report(tmp_path / "new", "extra", [[1, 1]])
+        report = diff_results(tmp_path / "old", tmp_path / "new")
+        assert report.clean
+
+
+class TestCliSurface:
+    def test_bench_diff_exit_codes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        write_report(tmp_path / "old", "thm", [[2, 16]])
+        write_report(tmp_path / "new", "thm", [[2, 16]])
+        assert main(
+            ["bench", "diff", str(tmp_path / "old"), str(tmp_path / "new")]
+        ) == 0
+        write_report(tmp_path / "new", "thm", [[2, 17]])
+        assert main(
+            ["bench", "diff", str(tmp_path / "old"), str(tmp_path / "new")]
+        ) == 1
+        assert "16 -> 17" in capsys.readouterr().out
+
+    def test_bench_diff_rejects_missing_directory(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["bench", "diff", str(tmp_path / "nope"), str(tmp_path)])
+
+    def test_grid_command_runs_and_caches(self, tmp_path, capsys):
+        from repro.cli import main
+
+        argv = [
+            "grid", "--algorithms", "ca-arrow", "--rhos", "1/2",
+            "--n", "3", "--horizon", "600",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--csv", str(tmp_path / "grid.csv"),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "1 hit" not in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "1 hit" in warm
+        assert (tmp_path / "grid.csv").exists()
+
+    def test_cache_info_and_clear(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache = ResultCache(tmp_path / "c", salt="s")
+        cache.put(cache.key_for({"kind": "t"}), 1)
+        assert main(["cache", "info", "--cache-dir", str(tmp_path / "c")]) == 0
+        assert "entries: 1" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path / "c")]) == 0
+        assert "1" in capsys.readouterr().out
+        assert list(cache.entries()) == []

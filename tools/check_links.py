@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Check that every relative Markdown link in the repo docs resolves.
+
+Scans README.md, DESIGN.md, EXPERIMENTS.md and docs/*.md for inline
+links/images ``[text](target)`` and verifies each relative target
+exists on disk (anchors are stripped; absolute URLs and mailto: are
+ignored).  Exits nonzero listing every broken link — CI runs this so a
+renamed doc cannot leave dangling references behind.
+
+Usage::
+
+    python tools/check_links.py [repo-root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+DOC_GLOBS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/*.md")
+
+# Inline link or image: [text](target "optional title").  Reference-style
+# links are rare in this repo and intentionally out of scope.
+_LINK = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def doc_files(root: Path) -> List[Path]:
+    files: List[Path] = []
+    for pattern in DOC_GLOBS:
+        files.extend(sorted(root.glob(pattern)))
+    return [f for f in files if f.is_file()]
+
+
+def relative_targets(text: str) -> List[str]:
+    """All relative link targets in a Markdown document, in order."""
+    return [
+        target
+        for target in _LINK.findall(text)
+        if not target.startswith(_SKIP_PREFIXES)
+    ]
+
+
+def broken_links(root: Path) -> List[Tuple[Path, str]]:
+    """(document, target) pairs whose target does not exist on disk."""
+    failures: List[Tuple[Path, str]] = []
+    for doc in doc_files(root):
+        for target in relative_targets(doc.read_text()):
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (doc.parent / path).resolve()
+            if not resolved.exists():
+                failures.append((doc, target))
+    return failures
+
+
+def main(argv: List[str]) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path(__file__).resolve().parents[1]
+    docs = doc_files(root)
+    if not docs:
+        print(f"check_links: no documents found under {root}", file=sys.stderr)
+        return 2
+    failures = broken_links(root)
+    checked = sum(len(relative_targets(doc.read_text())) for doc in docs)
+    if failures:
+        for doc, target in failures:
+            print(f"BROKEN  {doc.relative_to(root)}: ({target})")
+        print(f"check_links: {len(failures)} broken of {checked} relative links")
+        return 1
+    print(
+        f"check_links: {checked} relative links across {len(docs)} documents, all resolve"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
