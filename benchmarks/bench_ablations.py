@@ -15,13 +15,16 @@ shows the resulting failure, justifying the paper's choice:
   stations misread election pauses as dead air and fire sync signals
   into live elections — collisions on drained packets appear and
   latency degrades.
+
+The ablated variants are registered as bench-local scenario algorithms
+(``abs-symmetric``, ``ca-arrow-gap1``, ``ao-arrow-tinysync``), so each
+paper-vs-ablated pair is just two :class:`~repro.scenarios.ScenarioSpec`
+values differing in the ``algorithm`` field.
 """
 
 from repro.algorithms import AOArrow, CAArrow
 from repro.algorithms.abs_leader import ABSLeaderElection, AbsCore
-from repro.arrivals import UniformRate
-from repro.core import Simulator
-from repro.timing import FixedLength, PerStationFixed, worst_case_for
+from repro.scenarios import ALGORITHMS, ScenarioSpec
 
 from .reporting import emit, table
 
@@ -40,16 +43,45 @@ class _SymmetricABS(ABSLeaderElection):
         )
 
 
+@ALGORITHMS.register("abs-symmetric", kind="sst", family="abs", replace=True,
+                     summary="ABLATED ABS: both thresholds = 3R (bench-local)")
+def _abs_symmetric(spec):
+    return {i: _SymmetricABS(i, spec.max_slot) for i in range(1, spec.n + 1)}
+
+
+@ALGORITHMS.register("ca-arrow-gap1", kind="dynamic", family="ca-arrow",
+                     replace=True,
+                     summary="ABLATED CA-ARRoW: 1-slot gap (bench-local)")
+def _ca_arrow_gap1(spec):
+    return {
+        i: CAArrow(i, spec.n, spec.max_slot, gap_slots_override=1)
+        for i in range(1, spec.n + 1)
+    }
+
+
+@ALGORITHMS.register("ao-arrow-tinysync", kind="dynamic", family="ao-arrow",
+                     replace=True,
+                     summary="ABLATED AO-ARRoW: un-margined silence threshold")
+def _ao_arrow_tinysync(spec):
+    fleet = {i: AOArrow(i, spec.n, spec.max_slot) for i in range(1, spec.n + 1)}
+    for algo in fleet.values():
+        algo.sync_threshold = 6   # < one election's silence
+        algo.sync_extra = 12
+    return fleet
+
+
 def test_abs_threshold_asymmetry_is_load_bearing(benchmark):
     def run():
-        n, R = 4, 2
         out = {}
-        for name, factory in [
-            ("paper (3R / 4R^2+3R)", lambda sid: ABSLeaderElection(sid, R)),
-            ("ablated (3R / 3R)", lambda sid: _SymmetricABS(sid, R)),
+        for name, algorithm in [
+            ("paper (3R / 4R^2+3R)", "abs"),
+            ("ablated (3R / 3R)", "abs-symmetric"),
         ]:
-            algos = {i: factory(i) for i in range(1, n + 1)}
-            sim = Simulator(algos, FixedLength(R), max_slot_length=R)
+            spec = ScenarioSpec(
+                algorithm=algorithm, n=4, max_slot=2,
+                schedule={"name": "fixed", "length": 2},
+            )
+            sim = spec.build()
             solved = sim.run_until_success(max_events=50_000)
             out[name] = (solved, sim.channel.stats.collisions,
                          sim.max_slots_elapsed())
@@ -74,19 +106,20 @@ def test_abs_threshold_asymmetry_is_load_bearing(benchmark):
 
 def test_ca_gap_is_load_bearing(benchmark):
     def run():
-        n, R = 3, 2
         out = {}
-        for name, gap in [("paper (2R slots)", None), ("ablated (1 slot)", 1)]:
-            algos = {
-                i: CAArrow(i, n, R, gap_slots_override=gap)
-                for i in range(1, n + 1)
-            }
-            source = UniformRate(rho="3/5", targets=[1, 2, 3], assumed_cost=R)
-            sim = Simulator(
-                algos, PerStationFixed({1: 2, 2: 1, 3: "3/2"}), R,
-                arrival_source=source,
+        for name, algorithm in [
+            ("paper (2R slots)", "ca-arrow"),
+            ("ablated (1 slot)", "ca-arrow-gap1"),
+        ]:
+            spec = ScenarioSpec(
+                algorithm=algorithm, n=3, max_slot=2,
+                schedule={"name": "per-station-fixed",
+                          "lengths": {"1": 2, "2": 1, "3": "3/2"}},
+                rho="3/5",
+                horizon=4000,
             )
-            sim.run(until_time=4000)
+            sim = spec.build()
+            sim.run(until_time=spec.horizon)
             out[name] = (
                 len(sim.delivered_packets),
                 sim.total_backlog,
@@ -114,21 +147,20 @@ def test_ca_gap_is_load_bearing(benchmark):
 
 def test_ao_sync_threshold_is_load_bearing(benchmark):
     def run():
-        n, R = 3, 2
         out = {}
-        for name, shrink in [("paper (R-margined)", False), ("ablated (tiny)", True)]:
-            algos = {i: AOArrow(i, n, R) for i in range(1, n + 1)}
-            if shrink:
-                for algo in algos.values():
-                    algo.sync_threshold = 6   # < one election's silence
-                    algo.sync_extra = 12
-            source = UniformRate(rho="3/5", targets=[1, 2, 3], assumed_cost=R)
-            sim = Simulator(
-                algos, worst_case_for(R), R, arrival_source=source
+        for name, algorithm in [
+            ("paper (R-margined)", "ao-arrow"),
+            ("ablated (tiny)", "ao-arrow-tinysync"),
+        ]:
+            spec = ScenarioSpec(
+                algorithm=algorithm, n=3, max_slot=2, schedule="worst",
+                rho="3/5", horizon=8000,
             )
-            sim.run(until_time=8000)
+            sim = spec.build()
+            sim.run(until_time=spec.horizon)
             drain_collisions = sum(
-                algos[i].stats.drain_collisions for i in algos
+                sim.algorithm(i).stats.drain_collisions
+                for i in sim.station_ids
             )
             out[name] = (
                 len(sim.delivered_packets),

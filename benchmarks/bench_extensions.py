@@ -10,33 +10,31 @@ failures) so EXPERIMENTS.md can report them alongside the core results.
 * **Failures** — plain CA-ARRoW deadlocks on a crash; the
   fault-tolerant variant recovers, collision-free, at a measured
   throughput cost; jamming degrades gracefully with the duty cycle.
+
+Every configuration is a :class:`~repro.scenarios.ScenarioSpec` —
+crashes and jammers ride in the spec's ``faults`` list, exactly the
+form ``repro run --faults`` and ``scenarios/*.json`` files use.
 """
 
 import statistics
-from fractions import Fraction
 
-from repro.algorithms import (
-    ABSLeaderElection,
-    CAArrow,
-    DoublingABS,
-    FaultTolerantCAArrow,
-    RandomizedSST,
-)
 from repro.analysis import abs_slot_upper_bound, sst_lower_bound_slots
-from repro.arrivals import UniformRate
-from repro.core import Simulator
-from repro.faults import PeriodicJammer, crash_fleet
-from repro.timing import RandomUniform, worst_case_for
+from repro.scenarios import ScenarioSpec
 
 from .reporting import emit, table
 
 
-def _sst_slots(make_fleet, R, max_events=2_000_000):
-    fleet = make_fleet()
-    sim = Simulator(fleet, worst_case_for(R), max_slot_length=R)
+def _sst_slots(spec, max_events=2_000_000):
+    sim = spec.build()
     end = sim.run_until_success(max_events=max_events)
     assert end is not None
     return sim.max_slots_elapsed()
+
+
+def _sst_spec(algorithm, n, R, seed=0):
+    return ScenarioSpec(
+        algorithm=algorithm, n=n, max_slot=R, schedule="worst", seed=seed
+    )
 
 
 def test_unknown_r_overhead(benchmark):
@@ -45,12 +43,8 @@ def test_unknown_r_overhead(benchmark):
     def run():
         rows = []
         for n, R in [(4, 2), (8, 2), (16, 2), (8, 4), (16, 4)]:
-            known = _sst_slots(
-                lambda: {i: ABSLeaderElection(i, R) for i in range(1, n + 1)}, R
-            )
-            unknown = _sst_slots(
-                lambda: {i: DoublingABS(i, n) for i in range(1, n + 1)}, R
-            )
+            known = _sst_slots(_sst_spec("abs", n, R))
+            unknown = _sst_slots(_sst_spec("doubling", n, R))
             rows.append((n, R, known, unknown, abs_slot_upper_bound(n, R)))
         return rows
 
@@ -75,18 +69,12 @@ def test_randomized_vs_deterministic_sst(benchmark):
     def run():
         out = []
         for n, R in [(8, 2), (16, 2), (16, 4), (32, 4)]:
-            samples = []
-            for seed in range(9):
-                fleet = {
-                    i: RandomizedSST(i, transmit_probability=1 / n, seed=seed)
-                    for i in range(1, n + 1)
-                }
-                sim = Simulator(fleet, worst_case_for(R), max_slot_length=R)
-                assert sim.run_until_success(max_events=1_000_000) is not None
-                samples.append(sim.max_slots_elapsed())
-            abs_slots = _sst_slots(
-                lambda: {i: ABSLeaderElection(i, R) for i in range(1, n + 1)}, R
-            )
+            samples = [
+                _sst_slots(_sst_spec("randomized", n, R, seed=seed),
+                           max_events=1_000_000)
+                for seed in range(9)
+            ]
+            abs_slots = _sst_slots(_sst_spec("abs", n, R))
             out.append(
                 (
                     n,
@@ -116,15 +104,24 @@ def test_randomized_vs_deterministic_sst(benchmark):
 def test_crash_recovery(benchmark):
     """Plain CA-ARRoW vs fault-tolerant CA-ARRoW under a crash."""
 
-    def run_fleet(make, crashes, horizon=8000):
+    def run_spec(algorithm, crashes, horizon=8000):
         n, R = 4, 2
-        fleet = crash_fleet(
-            {i: make(i, n, R) for i in range(1, n + 1)}, crashes
-        )
         live = [i for i in range(1, n + 1) if i not in crashes]
-        source = UniformRate(rho="2/5", targets=live, assumed_cost=R)
-        sim = Simulator(fleet, worst_case_for(R), R, arrival_source=source)
-        sim.run(until_time=horizon)
+        spec = ScenarioSpec(
+            algorithm=algorithm,
+            n=n,
+            max_slot=R,
+            schedule="worst",
+            rho="2/5",
+            horizon=horizon,
+            source={"name": "uniform", "targets": live},
+            faults=[
+                {"kind": "crash", "station": station, "at_slot": at_slot}
+                for station, at_slot in crashes.items()
+            ],
+        )
+        sim = spec.build()
+        sim.run(until_time=spec.horizon)
         return (
             len(sim.delivered_packets),
             sim.total_backlog,
@@ -133,13 +130,11 @@ def test_crash_recovery(benchmark):
 
     def run():
         return {
-            "CA / no crash": run_fleet(CAArrow, {}),
-            "CA / crash s2@40": run_fleet(CAArrow, {2: 40}),
-            "FT-CA / no crash": run_fleet(FaultTolerantCAArrow, {}),
-            "FT-CA / crash s2@40": run_fleet(FaultTolerantCAArrow, {2: 40}),
-            "FT-CA / crash s2,s3@40": run_fleet(
-                FaultTolerantCAArrow, {2: 40, 3: 40}
-            ),
+            "CA / no crash": run_spec("ca-arrow", {}),
+            "CA / crash s2@40": run_spec("ca-arrow", {2: 40}),
+            "FT-CA / no crash": run_spec("ca-arrow-ft", {}),
+            "FT-CA / crash s2@40": run_spec("ca-arrow-ft", {2: 40}),
+            "FT-CA / crash s2,s3@40": run_spec("ca-arrow-ft", {2: 40, 3: 40}),
         }
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -165,14 +160,18 @@ def test_jamming_degradation(benchmark):
         out = []
         n, R = 3, 2
         for duty_num, duty_den in [(0, 1), (1, 12), (1, 6), (1, 3)]:
-            fleet = {i: CAArrow(i, n, R) for i in range(1, n + 1)}
+            faults = ()
             if duty_num:
-                fleet[9] = PeriodicJammer(
-                    burst=duty_num, period=duty_den * duty_num
+                faults = (
+                    {"kind": "jam-periodic", "station": 9,
+                     "burst": duty_num, "period": duty_den * duty_num},
                 )
-            source = UniformRate(rho="2/5", targets=[1, 2, 3], assumed_cost=R)
-            sim = Simulator(fleet, worst_case_for(R), R, arrival_source=source)
-            sim.run(until_time=6000)
+            spec = ScenarioSpec(
+                algorithm="ca-arrow", n=n, max_slot=R, schedule="worst",
+                rho="2/5", horizon=6000, faults=faults,
+            )
+            sim = spec.build()
+            sim.run(until_time=spec.horizon)
             out.append(
                 (
                     f"{duty_num}/{duty_den * duty_num}" if duty_num else "none",

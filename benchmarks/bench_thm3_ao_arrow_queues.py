@@ -7,20 +7,21 @@ against the closed-form ``L``.  Reproduced shape: measured peaks are
 bounded, far below ``L`` (the paper's bound is loose by design), and
 degrade as ``1/(1 - rho)`` when rho -> 1.
 
-The cells are independent, so the grid runs on the :mod:`repro.exec`
-engine: ``REPRO_BENCH_JOBS=4`` fans it out over four workers with
-bit-identical results, and completed cells are memoized in
-``.repro-cache/`` (``REPRO_BENCH_NO_CACHE=1`` to bypass).  The
-artifact's ``meta`` block records wall time, jobs, and cache counts.
+The grid is declared as :class:`~repro.scenarios.ScenarioSpec` values —
+the same declarative form the CLI and ``scenarios/*.json`` files use —
+so every cell is cache-keyed by its canonical JSON rather than by
+bytecode fingerprints.  The cells are independent, so the grid runs on
+the :mod:`repro.exec` engine: ``REPRO_BENCH_JOBS=4`` fans it out over
+four workers with bit-identical results, and completed cells are
+memoized in ``.repro-cache/`` (``REPRO_BENCH_NO_CACHE=1`` to bypass).
+The artifact's ``meta`` block records wall time, jobs, and cache
+counts.
 """
 
-import functools
 from fractions import Fraction
 
-from repro.algorithms import AOArrow
 from repro.analysis import ExperimentCell, ao_queue_bound_L, run_grid_report
-from repro.arrivals import BurstyRate
-from repro.timing import Synchronous, worst_case_for
+from repro.scenarios import ScenarioSpec
 
 from .reporting import bench_cache, bench_jobs, emit, grid_meta, table
 
@@ -34,30 +35,22 @@ BURST = 3
 STRIDE = 4
 
 
-def _fleet(n, R):
-    return {i: AOArrow(i, n, R) for i in range(1, n + 1)}
-
-
-def _adversary(R):
-    return Synchronous() if R == 1 else worst_case_for(R)
-
-
-def _source(n, R, rho):
-    return BurstyRate(
-        rho=rho, burst_size=BURST, targets=list(range(1, n + 1)), assumed_cost=R
+def _spec(n, R, rho):
+    return ScenarioSpec(
+        algorithm="ao-arrow",
+        n=n,
+        max_slot=R,
+        schedule="worst",
+        rho=rho,
+        burst=BURST,
+        horizon=HORIZON,
+        name=f"ao-arrow n={n} R={R} rho={rho}",
+        labels={"n": str(n), "R": str(R), "rho": rho},
     )
 
 
 def _cell(n, R, rho):
-    return ExperimentCell(
-        name=f"ao-arrow n={n} R={R} rho={rho}",
-        algorithms=functools.partial(_fleet, n, R),
-        slot_adversary=functools.partial(_adversary, R),
-        arrival_source=functools.partial(_source, n, R, rho),
-        max_slot_length=R,
-        horizon=HORIZON,
-        labels={"n": str(n), "R": str(R), "rho": rho},
-    )
+    return ExperimentCell.from_spec(_spec(n, R, rho))
 
 
 def _run_cell(n, R, rho):

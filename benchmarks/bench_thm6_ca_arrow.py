@@ -5,19 +5,18 @@ on every cell: the channel's collision counter is exactly zero.  The
 peak queue cost is compared to the paper's ``2nR^2(rho+1)/(1-rho)``
 bound.
 
-Like the Theorem 3 bench, the grid runs on the :mod:`repro.exec`
-engine — ``REPRO_BENCH_JOBS=4`` parallelizes it bit-identically, and
-``.repro-cache/`` memoizes completed cells (``REPRO_BENCH_NO_CACHE=1``
-to bypass).
+Like the Theorem 3 bench, the grid is declared as
+:class:`~repro.scenarios.ScenarioSpec` values (canonical-JSON cache
+keys, replayable via ``repro scenario run``) and runs on the
+:mod:`repro.exec` engine — ``REPRO_BENCH_JOBS=4`` parallelizes it
+bit-identically, and ``.repro-cache/`` memoizes completed cells
+(``REPRO_BENCH_NO_CACHE=1`` to bypass).
 """
 
-import functools
 from fractions import Fraction
 
-from repro.algorithms import AOArrow, CAArrow
 from repro.analysis import ExperimentCell, ca_queue_bound_L, run_grid_report
-from repro.arrivals import BurstyRate
-from repro.timing import Synchronous, worst_case_for
+from repro.scenarios import ScenarioSpec
 
 from .reporting import bench_cache, bench_jobs, emit, grid_meta, table
 
@@ -31,31 +30,22 @@ BURST = 3
 STRIDE = 4
 
 
-def _fleet(algorithm, n, R):
-    build = {"ca-arrow": CAArrow, "ao-arrow": AOArrow}[algorithm]
-    return {i: build(i, n, R) for i in range(1, n + 1)}
-
-
-def _adversary(R):
-    return Synchronous() if R == 1 else worst_case_for(R)
-
-
-def _source(n, R, rho):
-    return BurstyRate(
-        rho=rho, burst_size=BURST, targets=list(range(1, n + 1)), assumed_cost=R
+def _spec(n, R, rho, algorithm="ca-arrow"):
+    return ScenarioSpec(
+        algorithm=algorithm,
+        n=n,
+        max_slot=R,
+        schedule="worst",
+        rho=rho,
+        burst=BURST,
+        horizon=HORIZON,
+        name=f"{algorithm} n={n} R={R} rho={rho}",
+        labels={"algorithm": algorithm, "n": str(n), "R": str(R), "rho": rho},
     )
 
 
 def _cell(n, R, rho, algorithm="ca-arrow"):
-    return ExperimentCell(
-        name=f"{algorithm} n={n} R={R} rho={rho}",
-        algorithms=functools.partial(_fleet, algorithm, n, R),
-        slot_adversary=functools.partial(_adversary, R),
-        arrival_source=functools.partial(_source, n, R, rho),
-        max_slot_length=R,
-        horizon=HORIZON,
-        labels={"algorithm": algorithm, "n": str(n), "R": str(R), "rho": rho},
-    )
+    return ExperimentCell.from_spec(_spec(n, R, rho, algorithm))
 
 
 def _run_cell(n, R, rho):

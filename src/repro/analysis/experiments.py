@@ -68,7 +68,10 @@ class ExperimentCell:
     """One runnable configuration.
 
     Factories (not instances) so that every run starts fresh and grids
-    stay trivially re-runnable.
+    stay trivially re-runnable.  Cells built from a declarative
+    :class:`~repro.scenarios.ScenarioSpec` (via :meth:`from_spec`)
+    additionally carry the spec, which the result cache uses to key the
+    cell by canonical JSON instead of callable bytecode.
     """
 
     name: str
@@ -79,6 +82,35 @@ class ExperimentCell:
     horizon: TimeLike
     #: Free-form key=value labels copied into the result row.
     labels: Dict[str, str] = field(default_factory=dict)
+    #: The declarative spec this cell was built from, when there is one.
+    spec: Optional[object] = None
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec,
+        *,
+        name: Optional[str] = None,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> "ExperimentCell":
+        """A cell whose factories (and cache identity) come from ``spec``.
+
+        ``name`` and ``labels`` default to the spec's own; explicit
+        ``labels`` are merged over them.
+        """
+        merged = dict(spec.labels)
+        if labels:
+            merged.update(labels)
+        return cls(
+            name=name if name is not None else spec.name,
+            algorithms=spec.build_fleet,
+            slot_adversary=spec.build_schedule,
+            arrival_source=spec.build_source,
+            max_slot_length=spec.max_slot,
+            horizon=spec.horizon,
+            labels=merged,
+            spec=spec,
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -179,7 +211,22 @@ def run_cell(cell: ExperimentCell, backlog_stride: int = 8) -> CellResult:
 
 
 def _cell_payload(cell: ExperimentCell, backlog_stride: int) -> Dict[str, Any]:
-    """The cache identity of one cell run (see ``repro.exec.cache``)."""
+    """The cache identity of one cell run (see ``repro.exec.cache``).
+
+    Spec-backed cells are keyed by the spec's canonical JSON — stable
+    across processes and across cosmetic edits to calling code.  Cells
+    wired from closures keep the bytecode-fingerprint path.
+    """
+    if cell.spec is not None:
+        return {
+            "kind": "scenario-cell",
+            "name": cell.name,
+            "labels": cell.labels,
+            "spec": cell.spec.__cache_form__(),
+            "max_slot_length": as_time(cell.max_slot_length),
+            "horizon": as_time(cell.horizon),
+            "backlog_stride": backlog_stride,
+        }
     return {
         "kind": "experiment-cell",
         "name": cell.name,

@@ -1,13 +1,23 @@
 """Command-line interface: run any of the paper's systems from a shell.
 
+Every run the CLI constructs goes through the declarative scenario
+layer (:mod:`repro.scenarios`): flags build a
+:class:`~repro.scenarios.ScenarioSpec`, the spec builds the simulator.
+The same spec can live in a JSON file — ``repro scenario run`` of the
+file is byte-identical to the equivalent ``repro run`` flags.
+
 The subcommands cover the repository's surface:
 
 * ``run``       — dynamic packet transmission (AO-/CA-ARRoW, baselines)
-                  under a chosen slot adversary and workload;
+                  under a chosen slot adversary, workload and optional
+                  fault injection (``--faults``);
 * ``grid``      — an algorithm x rho experiment grid on the
                   :mod:`repro.exec` process pool (``--jobs``), with
                   content-addressed result caching (``--no-cache`` to
                   bypass) and CSV export;
+* ``scenario``  — the declarative layer itself: ``list`` registries and
+                  bundled specs, ``validate`` spec files, ``run`` a
+                  spec file (or replay a JSONL artifact's embedded spec);
 * ``sst``       — single-successful-transmission / leader election
                   (ABS, unknown-R doubling, randomized);
 * ``adversary`` — execute a theorem construction (Thm 2 mirror,
@@ -24,13 +34,14 @@ Examples::
 
     python -m repro run --algorithm ca-arrow --n 4 --max-slot 2 \
         --rho 1/2 --horizon 5000 --schedule worst
-    python -m repro run --algorithm ao-arrow --n 4 --horizon 50000 \
-        --metrics --emit-jsonl out.jsonl --progress 10000
+    python -m repro run --algorithm ca-arrow-ft --n 4 --rho 2/5 \
+        --faults crash:2@40
+    python -m repro scenario run scenarios/ca_arrow_worst.json
+    python -m repro scenario validate scenarios/
     python -m repro stats out.jsonl
     python -m repro grid --algorithms ca-arrow,ao-arrow --rhos 1/2,9/10 \
         --n 4 --horizon 20000 --jobs 4 --csv grid.csv
     python -m repro bench diff results-main benchmarks/results
-    python -m repro cache info
     python -m repro sst --algorithm abs --n 16 --max-slot 2 --schedule random --seed 7
     python -m repro adversary mirror --n 64 --realized-r 4
     python -m repro bounds --n 8 --max-slot 2 --rho 3/4 --burstiness 2
@@ -39,23 +50,11 @@ Examples::
 from __future__ import annotations
 
 import argparse
-import functools
+import pathlib
 import sys
-from fractions import Fraction
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from .algorithms import (
-    ABSLeaderElection,
-    AOArrow,
-    CAArrow,
-    MBTFLike,
-    NaiveTDMA,
-    RRW,
-    SlottedAloha,
-)
-from .algorithms.ca_arrow_ft import FaultTolerantCAArrow
-from .algorithms.randomized_sst import RandomizedSST
-from .algorithms.unknown_r import DoublingABS
+from .algorithms import ABSLeaderElection, NaiveTDMA
 from .analysis import (
     abs_slot_upper_bound,
     ao_queue_bound_L,
@@ -66,8 +65,8 @@ from .analysis import (
     mbtf_queue_bound,
     sst_lower_bound_slots,
 )
-from .arrivals import BurstyRate, UniformRate
-from .core import Simulator, StationAlgorithm, Trace, as_time
+from .core import Trace, as_time
+from .core.errors import ConfigurationError
 from .lowerbounds import (
     force_collision_or_overflow,
     measure_rate_one_instability,
@@ -84,53 +83,97 @@ from .obs import (
     render_summary,
     summarize_run,
 )
-from .timing import RandomUniform, Synchronous, worst_case_for
+from .scenarios import ALGORITHMS, FAULTS, SCHEDULES, SOURCES, ScenarioSpec, load_spec
+
+#: Where the bundled scenario files live, relative to the repo root.
+BUNDLED_SCENARIOS_DIR = "scenarios"
 
 
-def _make_schedule(name: str, max_slot, seed: int):
-    if name == "sync":
-        return Synchronous()
-    if name == "worst":
-        return worst_case_for(max_slot)
-    if name == "random":
-        return RandomUniform(max_slot, seed=seed)
-    raise SystemExit(f"unknown schedule {name!r} (use sync | worst | random)")
+def _parse_fault_flag(text: str) -> Dict[str, Any]:
+    """One ``--faults`` occurrence -> one fault entry dict.
+
+    Two syntaxes::
+
+        crash:SID@SLOT                  # shorthand for the common case
+        KIND:key=value,key=value        # e.g. jam-periodic:burst=1,period=12
+    """
+    kind, _, rest = text.partition(":")
+    kind = kind.strip()
+    if not kind:
+        raise SystemExit(f"--faults: missing fault kind in {text!r}")
+    if kind == "crash" and "@" in rest and "=" not in rest:
+        station, _, at_slot = rest.partition("@")
+        try:
+            return {
+                "kind": "crash",
+                "station": int(station),
+                "at_slot": int(at_slot),
+            }
+        except ValueError:
+            raise SystemExit(
+                f"--faults: expected crash:SID@SLOT, got {text!r}"
+            ) from None
+    entry: Dict[str, Any] = {"kind": kind}
+    if rest.strip():
+        for item in rest.split(","):
+            key, eq, value = item.partition("=")
+            if not eq:
+                raise SystemExit(
+                    f"--faults: expected key=value in {text!r}, got {item!r}"
+                )
+            key = key.strip()
+            value = value.strip()
+            try:
+                entry[key] = int(value)
+            except ValueError:
+                entry[key] = value
+    return entry
 
 
-def _make_fleet(name: str, n: int, max_slot, seed: int) -> Dict[int, StationAlgorithm]:
-    builders = {
-        "ao-arrow": lambda i: AOArrow(i, n, max_slot),
-        "ca-arrow": lambda i: CAArrow(i, n, max_slot),
-        "ca-arrow-ft": lambda i: FaultTolerantCAArrow(i, n, max_slot),
-        "rrw": lambda i: RRW(i, n),
-        "mbtf": lambda i: MBTFLike(i, n),
-        "tdma": lambda i: NaiveTDMA(i, n),
-        "aloha": lambda i: SlottedAloha(i, transmit_probability=1 / n, seed=seed),
-    }
+def _spec_or_exit(**kwargs: Any) -> ScenarioSpec:
+    """Build a spec, turning validation errors into CLI errors."""
     try:
-        build = builders[name]
-    except KeyError:
+        return ScenarioSpec(**kwargs)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def _dynamic_algorithm_or_exit(name: str) -> None:
+    """Reject non-fleet names with the historical error shape."""
+    if name not in ALGORITHMS.names(kind="dynamic"):
         raise SystemExit(
-            f"unknown algorithm {name!r} (use {' | '.join(sorted(builders))})"
-        ) from None
-    return {i: build(i) for i in range(1, n + 1)}
-
-
-def _make_source(rho, burst: int, n: int, max_slot):
-    targets = list(range(1, n + 1))
-    if burst > 1:
-        return BurstyRate(
-            rho=rho, burst_size=burst, targets=targets, assumed_cost=max_slot
+            f"unknown algorithm {name!r} "
+            f"(use {' | '.join(ALGORITHMS.names(kind='dynamic'))})"
         )
-    return UniformRate(rho=rho, targets=targets, assumed_cost=max_slot)
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    max_slot = as_time(args.max_slot)
-    fleet = _make_fleet(args.algorithm, args.n, max_slot, args.seed)
-    schedule = _make_schedule(args.schedule, max_slot, args.seed)
-    source = _make_source(args.rho, args.burst, args.n, max_slot)
+def _schedule_or_exit(name: str) -> str:
+    if name not in SCHEDULES:
+        raise SystemExit(
+            f"unknown schedule {name!r} (use {' | '.join(SCHEDULES.names())})"
+        )
+    return name
 
+
+def _spec_from_run_args(args: argparse.Namespace) -> ScenarioSpec:
+    _dynamic_algorithm_or_exit(args.algorithm)
+    _schedule_or_exit(args.schedule)
+    faults = tuple(_parse_fault_flag(text) for text in (args.faults or ()))
+    return _spec_or_exit(
+        algorithm=args.algorithm,
+        n=args.n,
+        max_slot=args.max_slot,
+        schedule=args.schedule,
+        rho=args.rho,
+        burst=args.burst,
+        horizon=args.horizon,
+        seed=args.seed,
+        faults=faults,
+    )
+
+
+def _run_spec(spec: ScenarioSpec, args: argparse.Namespace) -> int:
+    """Build, run and report one spec (shared by ``run`` / ``scenario run``)."""
     observing = args.metrics or args.emit_jsonl or args.progress
     bus = ProbeBus() if observing else None
     sim_metrics = None
@@ -140,15 +183,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         sim_metrics.attach(bus)
     if args.emit_jsonl:
         manifest = RunManifest.create(
+            spec=spec.canonical(),
             command="run",
-            algorithm=args.algorithm,
-            n=args.n,
-            max_slot_length=max_slot,
-            rho=args.rho,
-            burst=args.burst,
-            schedule=args.schedule,
-            seed=args.seed,
-            horizon=args.horizon,
+            algorithm=spec.algorithm,
+            n=spec.n,
+            max_slot_length=spec.max_slot,
+            rho=spec.rho,
+            burst=spec.burst,
+            schedule=spec.schedule_display(),
+            seed=spec.seed,
+            horizon=str(spec.horizon),
         )
         try:
             writer = JsonlRunWriter(
@@ -163,16 +207,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ProgressReporter(every_events=args.progress, min_interval_s=0.0).attach(bus)
     profiler = PhaseProfiler() if args.profile else None
 
-    sim = Simulator(
-        fleet, schedule, max_slot_length=max_slot, arrival_source=source,
-        trace=Trace(backlog_stride=8), probes=bus, profiler=profiler,
-    )
-    sim.run(until_time=args.horizon)
+    try:
+        sim = spec.build(
+            trace=Trace(backlog_stride=8), probes=bus, profiler=profiler
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
+    sim.run(until_time=spec.horizon)
     if writer is not None:
         writer.close(sim=sim)
     metrics = collect_metrics(sim)
-    print(f"algorithm={args.algorithm} n={args.n} R={max_slot} "
-          f"rho={args.rho} schedule={args.schedule} horizon={args.horizon}")
+    print(f"algorithm={spec.algorithm} n={spec.n} R={spec.max_slot} "
+          f"rho={spec.rho} schedule={spec.schedule_display()} "
+          f"horizon={spec.horizon}")
     print(f"  delivered:      {metrics.delivered}")
     print(f"  backlog:        {metrics.backlog} (peak {metrics.max_backlog})")
     print(f"  collisions:     {metrics.collisions}")
@@ -191,6 +238,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if writer is not None:
         print(f"artifact:         {writer.path}")
     return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    return _run_spec(_spec_from_run_args(args), args)
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -215,32 +266,29 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     from .analysis import ExperimentCell, run_grid_report, write_csv
     from .exec import ResultCache
 
-    max_slot = as_time(args.max_slot)
     algorithms = [name.strip() for name in args.algorithms.split(",") if name.strip()]
     rhos = [rho.strip() for rho in args.rhos.split(",") if rho.strip()]
     if not algorithms or not rhos:
         raise SystemExit("--algorithms and --rhos must each name at least one value")
+    _schedule_or_exit(args.schedule)
+    faults = tuple(_parse_fault_flag(text) for text in (args.faults or ()))
     cells = []
     for algorithm in algorithms:
-        _make_fleet(algorithm, 1, max_slot, args.seed)  # validate the name early
+        _dynamic_algorithm_or_exit(algorithm)
         for rho in rhos:
-            cells.append(
-                ExperimentCell(
-                    name=f"{algorithm}@rho={rho}",
-                    algorithms=functools.partial(
-                        _make_fleet, algorithm, args.n, max_slot, args.seed
-                    ),
-                    slot_adversary=functools.partial(
-                        _make_schedule, args.schedule, max_slot, args.seed
-                    ),
-                    arrival_source=functools.partial(
-                        _make_source, rho, args.burst, args.n, max_slot
-                    ),
-                    max_slot_length=max_slot,
-                    horizon=args.horizon,
-                    labels={"algorithm": algorithm, "rho": rho},
-                )
+            spec = _spec_or_exit(
+                algorithm=algorithm,
+                n=args.n,
+                max_slot=args.max_slot,
+                schedule=args.schedule,
+                rho=rho,
+                burst=args.burst,
+                horizon=args.horizon,
+                seed=args.seed,
+                faults=faults,
+                labels={"algorithm": algorithm, "rho": rho},
             )
+            cells.append(ExperimentCell.from_spec(spec))
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     progress = None
     if args.progress:
@@ -282,6 +330,98 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scenario_files(paths: Sequence[str]) -> List[pathlib.Path]:
+    """Expand files/directories into the list of spec files to process."""
+    files: List[pathlib.Path] = []
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            found = sorted(path.glob("*.json"))
+            if not found:
+                raise SystemExit(f"no *.json scenario files under {raw!r}")
+            files.extend(found)
+        else:
+            files.append(path)
+    return files
+
+
+def _cmd_scenario_list(args: argparse.Namespace) -> int:
+    print("algorithms (dynamic):")
+    for name in ALGORITHMS.names(kind="dynamic"):
+        print(f"  {ALGORITHMS.get(name).describe()}")
+    print("algorithms (sst):")
+    for name in ALGORITHMS.names(kind="sst"):
+        print(f"  {ALGORITHMS.get(name).describe()}")
+    other = ALGORITHMS.names()
+    extras = [n for n in other if ALGORITHMS.get(n).meta.get("kind")
+              not in ("dynamic", "sst")]
+    if extras:
+        print("algorithms (other):")
+        for name in extras:
+            print(f"  {ALGORITHMS.get(name).describe()}")
+    print("schedules:")
+    for entry in SCHEDULES.entries():
+        print(f"  {entry.describe()}")
+    print("sources:")
+    for entry in SOURCES.entries():
+        print(f"  {entry.describe()}")
+    print("faults:")
+    for entry in FAULTS.entries():
+        print(f"  {entry.describe()}")
+    bundled = pathlib.Path(args.dir)
+    if bundled.is_dir():
+        files = sorted(bundled.glob("*.json"))
+        if files:
+            print(f"bundled scenarios ({bundled}/):")
+            for path in files:
+                try:
+                    spec = load_spec(path)
+                    note = (f"{spec.algorithm} n={spec.n} R={spec.max_slot} "
+                            f"schedule={spec.schedule_display()}")
+                except ConfigurationError as exc:
+                    note = f"INVALID: {exc}"
+                print(f"  {path.name:<28} {note}")
+    return 0
+
+
+def _cmd_scenario_validate(args: argparse.Namespace) -> int:
+    failures = 0
+    for path in _scenario_files(args.paths):
+        try:
+            spec = load_spec(path)
+            # Building exercises every registry name and parameter.
+            spec.build()
+        except ConfigurationError as exc:
+            failures += 1
+            print(f"FAIL {path}: {exc}")
+            continue
+        print(f"ok   {path}: {spec.name} "
+              f"(algorithm={spec.algorithm} n={spec.n} R={spec.max_slot} "
+              f"schedule={spec.schedule_display()})")
+    if failures:
+        print(f"{failures} invalid scenario file(s)")
+        return 1
+    return 0
+
+
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    try:
+        spec = load_spec(args.spec)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
+    overrides: Dict[str, Any] = {}
+    if args.horizon is not None:
+        overrides["horizon"] = args.horizon
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        try:
+            spec = spec.replace(**overrides)
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc)) from None
+    return _run_spec(spec, args)
+
+
 def _cmd_bench_diff(args: argparse.Namespace) -> int:
     from .exec import diff_results
 
@@ -311,25 +451,22 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 
 def _cmd_sst(args: argparse.Namespace) -> int:
-    max_slot = as_time(args.max_slot)
-    schedule = _make_schedule(args.schedule, max_slot, args.seed)
-    if args.algorithm == "abs":
-        fleet: Dict[int, StationAlgorithm] = {
-            i: ABSLeaderElection(i, max_slot) for i in range(1, args.n + 1)
-        }
-    elif args.algorithm == "doubling":
-        fleet = {i: DoublingABS(i, args.n) for i in range(1, args.n + 1)}
-    elif args.algorithm == "randomized":
-        fleet = {
-            i: RandomizedSST(i, transmit_probability=1 / args.n, seed=args.seed)
-            for i in range(1, args.n + 1)
-        }
-    else:
+    if args.algorithm not in ALGORITHMS.names(kind="sst"):
         raise SystemExit(
             f"unknown SST algorithm {args.algorithm!r} "
-            "(use abs | doubling | randomized)"
+            f"(use {' | '.join(ALGORITHMS.names(kind='sst'))})"
         )
-    sim = Simulator(fleet, schedule, max_slot_length=max_slot)
+    _schedule_or_exit(args.schedule)
+    spec = _spec_or_exit(
+        algorithm=args.algorithm,
+        n=args.n,
+        max_slot=args.max_slot,
+        schedule=args.schedule,
+        seed=args.seed,
+        rho=None,
+    )
+    sim = spec.build()
+    fleet = {i: sim.algorithm(i) for i in sim.station_ids}
     solved_at = sim.run_until_success(max_events=args.max_events)
     if solved_at is None:
         print("SST NOT solved within the event budget")
@@ -339,12 +476,13 @@ def _cmd_sst(args: argparse.Namespace) -> int:
         stop_when=lambda s: all(a.is_done for a in fleet.values()),
     )
     winners = [i for i, a in fleet.items() if getattr(a, "outcome", None) == "won"]
-    print(f"algorithm={args.algorithm} n={args.n} R={max_slot} "
+    print(f"algorithm={args.algorithm} n={args.n} R={spec.max_slot} "
           f"schedule={args.schedule}")
     print(f"  solved at:      t = {solved_at}")
     print(f"  winner:         station {winners[0] if winners else '?'}")
     print(f"  max slots used: {sim.max_slots_elapsed()}")
-    print(f"  Theorem 1 bound (known R): {abs_slot_upper_bound(args.n, max_slot)}")
+    print(f"  Theorem 1 bound (known R): "
+          f"{abs_slot_upper_bound(args.n, spec.max_slot)}")
     return 0
 
 
@@ -379,12 +517,20 @@ def _cmd_adversary(args: argparse.Namespace) -> int:
             print(f"  collision at t = {result.collision_time} (replayed)")
         return 0
     if args.construction == "rate1":
-        max_slot = as_time(args.max_slot)
-        fleet = _make_fleet(args.algorithm, args.n, max_slot, args.seed)
-        report = measure_rate_one_instability(
-            fleet, max_slot_length=max_slot, horizon=args.horizon
+        _dynamic_algorithm_or_exit(args.algorithm)
+        spec = _spec_or_exit(
+            algorithm=args.algorithm,
+            n=args.n,
+            max_slot=args.max_slot,
+            seed=args.seed,
+            rho=None,
         )
-        print(f"Theorem 5 vs {args.algorithm}: n={args.n} R={max_slot} "
+        report = measure_rate_one_instability(
+            spec.build_fleet(),
+            max_slot_length=spec.max_slot,
+            horizon=args.horizon,
+        )
+        print(f"Theorem 5 vs {args.algorithm}: n={args.n} R={spec.max_slot} "
               f"horizon={args.horizon}")
         print(f"  backlog slope:  {report.slope:.4f} packets/time")
         print(f"  final backlog:  {report.final_backlog} (peak {report.max_backlog})")
@@ -432,6 +578,37 @@ def _cmd_diagram(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scenario_flags_parent() -> argparse.ArgumentParser:
+    """The shared scenario flags — one definition keeps ``run`` and
+    ``grid`` (and any future spec-built subcommand) in sync."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--n", type=int, default=4)
+    parent.add_argument("--max-slot", default="2", help="the bound R")
+    parent.add_argument("--burst", type=int, default=1)
+    parent.add_argument("--horizon", default="5000")
+    parent.add_argument("--schedule", default="worst",
+                        help="slot adversary (see `repro scenario list`)")
+    parent.add_argument("--seed", type=int, default=0)
+    parent.add_argument(
+        "--faults", action="append", metavar="SPEC",
+        help="inject a fault; crash:SID@SLOT or KIND:key=val,key=val "
+             "(repeatable; see `repro scenario list`)",
+    )
+    return parent
+
+
+def _obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Observability flags shared by ``run`` and ``scenario run``."""
+    parser.add_argument("--metrics", action="store_true",
+                        help="attach the metric instruments and print them")
+    parser.add_argument("--emit-jsonl", metavar="PATH",
+                        help="stream a manifest + per-event JSONL artifact")
+    parser.add_argument("--profile", action="store_true",
+                        help="report wall time per simulator phase")
+    parser.add_argument("--progress", type=int, metavar="N", default=0,
+                        help="print a progress line every N slot events")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -439,24 +616,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(ICDCS 2024 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    scenario_flags = _scenario_flags_parent()
 
-    run_p = sub.add_parser("run", help="dynamic packet transmission")
+    run_p = sub.add_parser("run", parents=[scenario_flags],
+                           help="dynamic packet transmission")
     run_p.add_argument("--algorithm", default="ca-arrow")
-    run_p.add_argument("--n", type=int, default=4)
-    run_p.add_argument("--max-slot", default="2", help="the bound R")
     run_p.add_argument("--rho", default="1/2")
-    run_p.add_argument("--burst", type=int, default=1)
-    run_p.add_argument("--horizon", default="5000")
-    run_p.add_argument("--schedule", default="worst")
-    run_p.add_argument("--seed", type=int, default=0)
-    run_p.add_argument("--metrics", action="store_true",
-                       help="attach the metric instruments and print them")
-    run_p.add_argument("--emit-jsonl", metavar="PATH",
-                       help="stream a manifest + per-event JSONL artifact")
-    run_p.add_argument("--profile", action="store_true",
-                       help="report wall time per simulator phase")
-    run_p.add_argument("--progress", type=int, metavar="N", default=0,
-                       help="print a progress line every N slot events")
+    _obs_flags(run_p)
     run_p.set_defaults(handler=_cmd_run)
 
     stats_p = sub.add_parser("stats", help="summarize a saved JSONL run")
@@ -464,18 +630,13 @@ def build_parser() -> argparse.ArgumentParser:
     stats_p.set_defaults(handler=_cmd_stats)
 
     grid_p = sub.add_parser(
-        "grid", help="run an algorithm x rho experiment grid (parallel, cached)"
+        "grid", parents=[scenario_flags],
+        help="run an algorithm x rho experiment grid (parallel, cached)",
     )
     grid_p.add_argument("--algorithms", default="ca-arrow,ao-arrow",
                         help="comma-separated algorithm names")
     grid_p.add_argument("--rhos", default="3/10,1/2,7/10,9/10",
                         help="comma-separated injection rates")
-    grid_p.add_argument("--n", type=int, default=4)
-    grid_p.add_argument("--max-slot", default="2", help="the bound R")
-    grid_p.add_argument("--burst", type=int, default=1)
-    grid_p.add_argument("--horizon", default="5000")
-    grid_p.add_argument("--schedule", default="worst")
-    grid_p.add_argument("--seed", type=int, default=0)
     grid_p.add_argument("--backlog-stride", type=int, default=8,
                         help="trace sampling stride (passed to every cell)")
     grid_p.add_argument("--jobs", type=int, default=1,
@@ -487,6 +648,33 @@ def build_parser() -> argparse.ArgumentParser:
     grid_p.add_argument("--progress", action="store_true",
                         help="report per-cell progress on stderr")
     grid_p.set_defaults(handler=_cmd_grid)
+
+    scenario_p = sub.add_parser(
+        "scenario", help="declarative scenarios: list, validate, run"
+    )
+    scenario_sub = scenario_p.add_subparsers(dest="scenario_command", required=True)
+    slist_p = scenario_sub.add_parser(
+        "list", help="registered algorithms/schedules/sources/faults + bundled specs"
+    )
+    slist_p.add_argument("--dir", default=BUNDLED_SCENARIOS_DIR,
+                         help="bundled scenarios directory to list")
+    slist_p.set_defaults(handler=_cmd_scenario_list)
+    svalidate_p = scenario_sub.add_parser(
+        "validate", help="strictly validate scenario spec files (or directories)"
+    )
+    svalidate_p.add_argument("paths", nargs="+",
+                             help="spec files and/or directories of *.json")
+    svalidate_p.set_defaults(handler=_cmd_scenario_validate)
+    srun_p = scenario_sub.add_parser(
+        "run", help="run a spec file (or replay a JSONL artifact's spec)"
+    )
+    srun_p.add_argument("spec", help="scenario .json file or --emit-jsonl artifact")
+    srun_p.add_argument("--horizon", default=None,
+                        help="override the spec's horizon")
+    srun_p.add_argument("--seed", type=int, default=None,
+                        help="override the spec's seed")
+    _obs_flags(srun_p)
+    srun_p.set_defaults(handler=_cmd_scenario_run)
 
     bench_p = sub.add_parser("bench", help="benchmark artifact tooling")
     bench_sub = bench_p.add_subparsers(dest="bench_command", required=True)

@@ -26,6 +26,14 @@ values in its closure (recursively).  Anything whose identity cannot
 be captured stably — an object whose ``repr`` embeds a memory address,
 an open file — raises :class:`UncacheableValue`; callers treat that
 task as simply not cacheable and execute it every time.
+
+Canonical-form fast path: an object exposing ``__cache_form__()`` (a
+method returning a JSON-native description of everything behavior-
+relevant) is keyed by that form instead of any bytecode walking.
+:class:`repro.scenarios.ScenarioSpec` uses this, so spec-backed grid
+cells keep their cache keys across cosmetic edits to the closures and
+modules around them — and the key is identical whether the spec was
+built in Python or parsed from a ``scenarios/*.json`` file.
 """
 
 from __future__ import annotations
@@ -106,6 +114,17 @@ def fingerprint(value: Any) -> Any:
     """
     if value is None or isinstance(value, (bool, int, str)):
         return value
+    form = getattr(value, "__cache_form__", None)
+    if form is not None and callable(form):
+        # The canonical-form fast path: objects (notably
+        # repro.scenarios.ScenarioSpec) that know their own stable JSON
+        # identity are keyed by it directly — no bytecode walking, so
+        # cosmetic edits to calling code cannot change the key.
+        return {
+            "kind": "cache-form",
+            "class": f"{type(value).__module__}.{type(value).__qualname__}",
+            "form": fingerprint(form()),
+        }
     if isinstance(value, float):
         return {"float": repr(value)}
     if isinstance(value, Fraction):

@@ -78,20 +78,31 @@ def _action_name(action: Any) -> str:
 
 @dataclass(slots=True)
 class RunManifest:
-    """Everything needed to attribute and re-run one simulation."""
+    """Everything needed to attribute and re-run one simulation.
+
+    ``spec`` carries the canonical JSON of the
+    :class:`~repro.scenarios.ScenarioSpec` that produced the run, when
+    there was one — which makes the artifact *replayable*: ``repro
+    scenario run <artifact.jsonl>`` rebuilds and re-runs it bit-for-bit.
+    """
 
     config: Dict[str, Any]
     created_at: str = ""
     repro_version: Optional[str] = None
     git_commit: Optional[str] = None
     schema_version: int = SCHEMA_VERSION
+    spec: Optional[Dict[str, Any]] = None
 
     @classmethod
-    def create(cls, **config: Any) -> "RunManifest":
+    def create(
+        cls, *, spec: Optional[Dict[str, Any]] = None, **config: Any
+    ) -> "RunManifest":
         """Build a manifest from run parameters, stamping code identity.
 
         Exact rationals in the config are serialized as fraction
         strings; everything else must already be JSON-representable.
+        ``spec`` takes the scenario's canonical dict
+        (:meth:`~repro.scenarios.ScenarioSpec.canonical`).
         """
         try:
             from .. import __version__ as version
@@ -106,10 +117,11 @@ class RunManifest:
             created_at=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
             repro_version=version,
             git_commit=git_sha(),
+            spec=spec,
         )
 
     def to_record(self) -> Dict[str, Any]:
-        return {
+        record = {
             "type": "manifest",
             "schema_version": self.schema_version,
             "created_at": self.created_at,
@@ -117,6 +129,9 @@ class RunManifest:
             "git_commit": self.git_commit,
             "config": self.config,
         }
+        if self.spec is not None:
+            record["spec"] = self.spec
+        return record
 
 
 class JsonlRunWriter:

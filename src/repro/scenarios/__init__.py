@@ -1,0 +1,46 @@
+"""Declarative scenarios: registries + serializable run specifications.
+
+The model of the paper is a tuple — stations ``[n]``, bound ``R``, a
+slot adversary, an arrival process at rate ``rho`` — and this package
+makes that tuple *data* instead of hand-wired closures:
+
+* :class:`ScenarioSpec` — a frozen, strictly-validated, JSON-round-
+  trippable description of one run, with ``build()`` producing a ready
+  :class:`~repro.core.simulator.Simulator`;
+* :data:`ALGORITHMS` / :data:`SCHEDULES` / :data:`SOURCES` /
+  :data:`FAULTS` — decorator-based registries resolving every name a
+  spec uses (seeded with everything the repo ships; one decorator adds
+  a new family everywhere at once);
+* :func:`load_spec` — read a spec from a ``scenarios/*.json`` file or
+  straight out of a JSONL run artifact's manifest.
+
+Every run-construction path — ``repro run``/``grid``/``sst``, the
+Theorem 3/6 grid benches, the ablation and extension benches, bundled
+``scenarios/*.json`` files — goes through this layer, and the
+:mod:`repro.exec` cache keys spec-backed tasks by the spec's canonical
+JSON (see ``docs/scenarios.md``).
+
+>>> spec = ScenarioSpec(algorithm="ca-arrow", n=3, rho="1/2", horizon=600)
+>>> sim = spec.build()
+>>> _ = sim.run(until_time=spec.horizon)
+>>> sim.channel.stats.collisions
+0
+>>> ScenarioSpec.from_json(spec.to_json()) == spec
+True
+"""
+
+from .registry import ALGORITHMS, FAULTS, SCHEDULES, SOURCES, Registry, RegistryEntry
+from .spec import SCHEMA_VERSION, ScenarioSpec, load_spec
+from . import builtin as _builtin  # noqa: F401  (seeds the registries)
+
+__all__ = [
+    "ALGORITHMS",
+    "FAULTS",
+    "Registry",
+    "RegistryEntry",
+    "SCHEDULES",
+    "SCHEMA_VERSION",
+    "SOURCES",
+    "ScenarioSpec",
+    "load_spec",
+]

@@ -1,0 +1,146 @@
+"""Decorator-based registries for the declarative scenario layer.
+
+A scenario names its moving parts — algorithm fleet, slot adversary,
+arrival source, fault injectors — and each name resolves through one of
+four registries.  Adding a new algorithm family or adversary to every
+consumer (CLI, grids, benches, bundled scenario files) is then a
+one-entry change::
+
+    from repro.scenarios import ALGORITHMS
+
+    @ALGORITHMS.register("my-protocol", kind="dynamic", family="mine",
+                         summary="my shiny protocol")
+    def _build(spec):
+        return {i: MyProtocol(i, spec.n, spec.max_slot)
+                for i in range(1, spec.n + 1)}
+
+Builders receive the full :class:`~repro.scenarios.spec.ScenarioSpec`
+(so they can read ``n``, ``max_slot``, ``seed``, …); schedule/source/
+fault builders additionally receive the declared JSON parameters.
+Lookup failures raise :class:`~repro.core.errors.ConfigurationError`
+naming the offending field and listing what *is* registered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from ..core.errors import ConfigurationError
+
+__all__ = [
+    "Registry",
+    "RegistryEntry",
+    "ALGORITHMS",
+    "SCHEDULES",
+    "SOURCES",
+    "FAULTS",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class RegistryEntry:
+    """One named builder plus its descriptive metadata."""
+
+    name: str
+    builder: Callable[..., Any]
+    #: Free-form facts (``kind``, ``family``, ``summary``, …).
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        summary = self.meta.get("summary", "")
+        return f"{self.name:<18} {summary}" if summary else self.name
+
+
+class Registry:
+    """A named collection of builders with decorator registration.
+
+    >>> demo = Registry("demo")
+    >>> @demo.register("answer", summary="the answer")
+    ... def _build():
+    ...     return 42
+    >>> demo.get("answer").builder()
+    42
+    >>> "answer" in demo and demo.names() == ["answer"]
+    True
+    """
+
+    def __init__(self, field_name: str) -> None:
+        #: The ScenarioSpec field this registry resolves (used in errors).
+        self.field_name = field_name
+        self._entries: Dict[str, RegistryEntry] = {}
+
+    def register(
+        self, name: str, *, replace: bool = False, **meta: Any
+    ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+        """Decorator form of :meth:`add`; returns the builder unchanged."""
+
+        def decorate(builder: Callable[..., Any]) -> Callable[..., Any]:
+            self.add(name, builder, replace=replace, **meta)
+            return builder
+
+        return decorate
+
+    def add(
+        self,
+        name: str,
+        builder: Callable[..., Any],
+        *,
+        replace: bool = False,
+        **meta: Any,
+    ) -> RegistryEntry:
+        if not name or not isinstance(name, str):
+            raise ConfigurationError(
+                f"{self.field_name}: registry names must be non-empty strings, "
+                f"got {name!r}"
+            )
+        if name in self._entries and not replace:
+            raise ConfigurationError(
+                f"{self.field_name}: {name!r} is already registered "
+                "(pass replace=True to override)"
+            )
+        entry = RegistryEntry(name=name, builder=builder, meta=dict(meta))
+        self._entries[name] = entry
+        return entry
+
+    def get(self, name: str) -> RegistryEntry:
+        """The entry for ``name``; a clear error naming the field otherwise."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"{self.field_name}: unknown name {name!r} "
+                f"(registered: {' | '.join(self.names()) or '<none>'})"
+            ) from None
+
+    def names(self, **want_meta: Any) -> List[str]:
+        """Sorted names, optionally filtered by metadata equality."""
+        return sorted(
+            name
+            for name, entry in self._entries.items()
+            if all(entry.meta.get(k) == v for k, v in want_meta.items())
+        )
+
+    def entries(self) -> Iterator[RegistryEntry]:
+        for name in self.names():
+            yield self._entries[name]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Algorithm fleets: ``builder(spec) -> Dict[int, StationAlgorithm]``.
+ALGORITHMS = Registry("algorithm")
+
+#: Slot adversaries: ``builder(spec, **params) -> SlotAdversary``.
+SCHEDULES = Registry("schedule")
+
+#: Arrival sources: ``builder(spec, **params) -> ArrivalSource | None``.
+SOURCES = Registry("source")
+
+#: Fault injectors: ``builder(spec, fleet, entries) -> fleet`` where
+#: ``entries`` is the list of fault dicts of that kind, in spec order.
+FAULTS = Registry("faults")

@@ -195,3 +195,113 @@ class TestDiagramCommand:
     def test_unknown_diagram_rejected(self):
         with pytest.raises(SystemExit):
             main(["diagram", "escher"])
+
+
+class TestScenarioCommand:
+    SPEC = (
+        '{"algorithm": "ca-arrow", "n": 3, "rho": "1/2", "horizon": "800"}'
+    )
+
+    def test_list(self, capsys):
+        code = main(["scenario", "list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ca-arrow" in out and "worst" in out
+        assert "crash" in out and "bursty" in out
+
+    def test_list_bundled_directory(self, capsys):
+        code = main(["scenario", "list", "--dir", "scenarios"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bundled scenarios" in out
+        assert "ca_arrow_worst.json" in out
+
+    def test_validate_ok(self, tmp_path, capsys):
+        path = tmp_path / "ok.json"
+        path.write_text(self.SPEC, encoding="utf-8")
+        code = main(["scenario", "validate", str(path)])
+        assert code == 0
+        assert "ok " in capsys.readouterr().out
+
+    def test_validate_rejects_bad_spec(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"algorithm": "ca-arrow", "n": 3, "rho": "3/2"}',
+                        encoding="utf-8")
+        code = main(["scenario", "validate", str(path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL" in out and "rho" in out
+
+    def test_validate_directory(self, tmp_path, capsys):
+        (tmp_path / "a.json").write_text(self.SPEC, encoding="utf-8")
+        (tmp_path / "b.json").write_text(self.SPEC, encoding="utf-8")
+        code = main(["scenario", "validate", str(tmp_path)])
+        assert code == 0
+        assert capsys.readouterr().out.count("ok ") == 2
+
+    def test_run_spec_file(self, tmp_path, capsys):
+        path = tmp_path / "s.json"
+        path.write_text(self.SPEC, encoding="utf-8")
+        code = main(["scenario", "run", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "collisions:     0" in out
+
+    def test_run_with_overrides(self, tmp_path, capsys):
+        path = tmp_path / "s.json"
+        path.write_text(self.SPEC, encoding="utf-8")
+        code = main(["scenario", "run", str(path), "--horizon", "400"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "horizon=400" in out
+
+    def test_replay_artifact(self, tmp_path, capsys):
+        artifact = tmp_path / "run.jsonl"
+        code = main(
+            ["run", "--algorithm", "ca-arrow", "--n", "3", "--rho", "1/2",
+             "--horizon", "600", "--emit-jsonl", str(artifact)]
+        )
+        assert code == 0
+        first = capsys.readouterr().out
+        code = main(["scenario", "run", str(artifact)])
+        replay = capsys.readouterr().out
+        assert code == 0
+        # Identical headline line and delivery count on replay.
+        assert replay.splitlines()[0] == first.splitlines()[0]
+        assert replay.splitlines()[1] == first.splitlines()[1]
+
+    def test_run_missing_file(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "run", "/no/such/spec.json"])
+
+
+class TestFaultsFlag:
+    def test_crash_shorthand(self, capsys):
+        code = main(
+            ["run", "--algorithm", "ca-arrow-ft", "--n", "3", "--rho", "2/5",
+             "--horizon", "1500", "--faults", "crash:2@40"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "delivered:" in out
+
+    def test_generic_fault_syntax(self, capsys):
+        code = main(
+            ["run", "--algorithm", "ca-arrow", "--n", "3", "--rho", "2/5",
+             "--horizon", "1000",
+             "--faults", "jam-periodic:station=9,burst=1,period=12"]
+        )
+        assert code == 0
+        assert "delivered:" in capsys.readouterr().out
+
+    def test_unknown_fault_kind_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--faults", "gremlins:x=1"])
+
+    def test_malformed_crash_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--faults", "crash:two@forty"])
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--faults", ":x=1"])
