@@ -123,7 +123,11 @@ class _TrackingABS(ABSLeaderElection):
                     PhaseTransmission(
                         station_id=self.core.station_id,
                         phase=phase,
-                        interval=runtime.slot_interval,
+                        # Runtime slots are in internal timebase units;
+                        # records are public observations.
+                        interval=sim.timebase.interval_public(
+                            runtime.slot_interval
+                        ),
                     )
                 )
             if self.core.done:

@@ -111,6 +111,13 @@ class StarveCurrentTransmitter(ArrivalSource):
             self._last_time = t
             yield (t, self._pick_target(sim))
 
+    def lattice_denominator(self) -> None:
+        # Injection instants involve ``needed / rho`` with a run-
+        # dependent budget, so denominators are not statically bounded;
+        # the adaptive target choice also reads the channel history
+        # per arrival.  Stay on the exact Fraction path.
+        return None
+
 
 class FeedOnlyIdleStations(ArrivalSource):
     """Injects only into stations whose queues are currently empty.

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import random
 from fractions import Fraction
+from math import lcm
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..core.errors import ConfigurationError
@@ -107,14 +108,26 @@ class UniformRate(ArrivalSource):
         )
         self._emitted = 0
         self._spacing = self.assumed_cost / self.rho
+        # Maintained incrementally (exact addition == start + k * spacing).
+        self._next_time = self.start
 
     def arrivals_until(self, sim, upto: Time) -> Iterator[Arrival]:
         while self.limit is None or self._emitted < self.limit:
-            t = self.start + self._emitted * self._spacing
+            t = self._next_time
             if t > upto:
                 return
             self._emitted += 1
+            self._next_time = t + self._spacing
             yield (t, self._policy.next_target())
+
+    def lattice_denominator(self) -> int:
+        # Arrival k is start + k * spacing: multiples of 1/lcm(dens).
+        return lcm(self.start.denominator, self._spacing.denominator)
+
+    def next_arrival_hint(self) -> Optional[Time]:
+        if self.limit is not None and self._emitted >= self.limit:
+            return None
+        return self._next_time
 
 
 class BurstyRate(ArrivalSource):
@@ -149,15 +162,27 @@ class BurstyRate(ArrivalSource):
         )
         self._emitted = 0
         self._period = burst_size * self.assumed_cost / self.rho
+        # Maintained incrementally (exact: start + (emitted // size) * period).
+        self._next_time = self.start
 
     def arrivals_until(self, sim, upto: Time) -> Iterator[Arrival]:
         while self.limit is None or self._emitted < self.limit:
-            burst_index, position = divmod(self._emitted, self.burst_size)
-            t = self.start + burst_index * self._period
+            t = self._next_time
             if t > upto:
                 return
             self._emitted += 1
+            if self._emitted % self.burst_size == 0:
+                self._next_time = t + self._period
             yield (t, self._policy.next_target())
+
+    def lattice_denominator(self) -> int:
+        # Burst j arrives at start + j * period: multiples of 1/lcm(dens).
+        return lcm(self.start.denominator, self._period.denominator)
+
+    def next_arrival_hint(self) -> Optional[Time]:
+        if self.limit is not None and self._emitted >= self.limit:
+            return None
+        return self._next_time
 
 
 class PoissonLike(ArrivalSource):
@@ -246,3 +271,16 @@ class PoissonLike(ArrivalSource):
             self._emitted += 1
             self._next_time = t + self._draw_gap()
             yield (t, self._policy.next_target())
+
+    def lattice_denominator(self) -> Optional[int]:
+        # The token-bucket clamp divides by rho (``(cost - tokens) /
+        # rho``), so arrival denominators compound run-dependently; no
+        # small static bound is provable.  Stay on the Fraction path.
+        return None
+
+    def next_arrival_hint(self) -> Optional[Time]:
+        if self.limit is not None and self._emitted >= self.limit:
+            return None
+        # ``_next_time`` is the earliest candidate; the token-bucket
+        # clamp can only push the realized arrival later.
+        return self._next_time

@@ -12,10 +12,11 @@ the channel).
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from math import lcm
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.errors import ConfigurationError
-from ..core.timebase import Time, TimeLike, as_time
+from ..core.timebase import Time, TimeLike, as_time, declared_lattice_denominator
 
 #: One injection: (arrival time, target station id).
 Arrival = Tuple[Time, int]
@@ -28,12 +29,37 @@ class ArrivalSource:
         """Yield all pending arrivals with time <= ``upto``, in order."""
         raise NotImplementedError
 
+    def lattice_denominator(self) -> Optional[int]:
+        """Smallest ``D`` such that every arrival instant is a multiple
+        of ``1/D``, or ``None`` when no such bound can be promised.
+
+        Declaring a lattice (together with the slot adversary's
+        declaration) lets the simulator run on the scaled-integer fast
+        timebase (see :mod:`repro.core.timebase`).  Adaptive sources
+        stay at the conservative default.
+        """
+        return None
+
+    # Sources that know their next injection instant in advance may
+    # additionally expose ``next_arrival_hint() -> Optional[Time]``:
+    # the earliest time at which the source could produce an arrival
+    # (``None`` = exhausted, never again).  The simulator then skips
+    # polling ``arrivals_until`` for events strictly before the hint —
+    # a pure performance contract; adaptive sources simply omit the
+    # method and are polled every event, exactly as before.
+
 
 class NoArrivals(ArrivalSource):
     """The empty workload (used by pure SST / leader-election runs)."""
 
     def arrivals_until(self, sim, upto: Time) -> Iterable[Arrival]:
         return ()
+
+    def lattice_denominator(self) -> int:
+        return 1
+
+    def next_arrival_hint(self) -> None:
+        return None
 
 
 class StaticSchedule(ArrivalSource):
@@ -67,6 +93,14 @@ class StaticSchedule(ArrivalSource):
         """Arrivals not yet handed to the simulator."""
         return len(self._arrivals) - self._cursor
 
+    def lattice_denominator(self) -> int:
+        return lcm(*(t.denominator for t, _ in self._arrivals))
+
+    def next_arrival_hint(self) -> Optional[Time]:
+        if self._cursor >= len(self._arrivals):
+            return None
+        return self._arrivals[self._cursor][0]
+
 
 class ConcatSource(ArrivalSource):
     """Merge several sources into one (each must itself be ordered).
@@ -77,6 +111,21 @@ class ConcatSource(ArrivalSource):
 
     def __init__(self, sources: Sequence[ArrivalSource]) -> None:
         self._sources = list(sources)
+        # Expose the polling-skip hint only when every child supports
+        # it (an instance attribute so ``getattr`` probing sees it).
+        if all(
+            getattr(source, "next_arrival_hint", None) is not None
+            for source in self._sources
+        ):
+            self.next_arrival_hint = self._combined_hint
+
+    def _combined_hint(self) -> Optional[Time]:
+        hints = [
+            hint
+            for source in self._sources
+            if (hint := source.next_arrival_hint()) is not None
+        ]
+        return min(hints) if hints else None
 
     def arrivals_until(self, sim, upto: Time) -> Iterator[Arrival]:
         batches: List[List[Arrival]] = [
@@ -87,6 +136,15 @@ class ConcatSource(ArrivalSource):
             key=lambda pair: pair[0],
         )
         return iter(merged)
+
+    def lattice_denominator(self) -> Optional[int]:
+        denominators = []
+        for source in self._sources:
+            declared = declared_lattice_denominator(source)
+            if declared is None:
+                return None
+            denominators.append(declared)
+        return lcm(*denominators)
 
 
 class CallbackSource(ArrivalSource):

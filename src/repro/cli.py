@@ -209,7 +209,8 @@ def _run_spec(spec: ScenarioSpec, args: argparse.Namespace) -> int:
 
     try:
         sim = spec.build(
-            trace=Trace(backlog_stride=8), probes=bus, profiler=profiler
+            trace=Trace(backlog_stride=8), probes=bus, profiler=profiler,
+            timebase=getattr(args, "timebase", "auto"),
         )
     except ConfigurationError as exc:
         raise SystemExit(str(exc)) from None
@@ -426,12 +427,33 @@ def _cmd_bench_diff(args: argparse.Namespace) -> int:
     from .exec import diff_results
 
     try:
-        report = diff_results(args.old, args.new)
-    except FileNotFoundError as exc:
+        report = diff_results(args.old, args.new, tolerance=args.tolerance)
+    except (FileNotFoundError, ValueError) as exc:
         raise SystemExit(str(exc)) from None
     for line in report.render():
         print(line)
     return report.exit_code()
+
+
+def _cmd_bench_perf(args: argparse.Namespace) -> int:
+    from .exec.perf import render_report, run_perf, write_report
+
+    try:
+        document = run_perf(quick=args.quick)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
+    for line in render_report(document):
+        print(line)
+    meta = document["meta"]
+    print(f"\ngeomean speedup: {meta['geomean_speedup']}x "
+          f"(wall {meta['wall_s']}s, best of {meta['repeats']})")
+    targets = [args.results_dir]
+    if args.update_baseline:
+        targets.append(args.baseline_dir)
+    for target in targets:
+        json_path, txt_path = write_report(document, target)
+        print(f"wrote {json_path} and {txt_path}")
+    return 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -607,6 +629,11 @@ def _obs_flags(parser: argparse.ArgumentParser) -> None:
                         help="report wall time per simulator phase")
     parser.add_argument("--progress", type=int, metavar="N", default=0,
                         help="print a progress line every N slot events")
+    parser.add_argument("--timebase", choices=("auto", "lattice", "fraction"),
+                        default="auto",
+                        help="internal time representation (observably "
+                        "identical; 'auto' uses integer ticks when the "
+                        "scenario declares a time lattice)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -684,7 +711,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bdiff_p.add_argument("old", help="baseline benchmarks/results directory")
     bdiff_p.add_argument("new", help="candidate benchmarks/results directory")
+    bdiff_p.add_argument("--tolerance", type=float, default=0.0,
+                         metavar="REL",
+                         help="relative tolerance for numeric cells "
+                         "(0.25 = 25%%; default exact)")
     bdiff_p.set_defaults(handler=_cmd_bench_diff)
+    bperf_p = bench_sub.add_parser(
+        "perf",
+        help="core perf suite: events/sec, fraction vs tick-lattice timebase",
+    )
+    bperf_p.add_argument("--quick", action="store_true",
+                         help="short horizons, one repeat (CI smoke)")
+    bperf_p.add_argument("--results-dir", default="benchmarks/results",
+                         help="where to write perf_core.json / .txt")
+    bperf_p.add_argument("--update-baseline", action="store_true",
+                         help="also write the report to the baseline dir "
+                         "(regenerate with --quick so CI row counts match)")
+    bperf_p.add_argument("--baseline-dir", default="benchmarks/baselines",
+                         help="baseline directory for --update-baseline")
+    bperf_p.set_defaults(handler=_cmd_bench_perf)
 
     cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
     cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)

@@ -22,7 +22,21 @@ from .station import (
     SlotContext,
     StationAlgorithm,
 )
-from .timebase import Interval, Time, TimeLike, as_time, check_slot_length, make_interval
+from .timebase import (
+    FRACTION_TIMEBASE,
+    MAX_LATTICE_DENOMINATOR,
+    FractionTimebase,
+    Interval,
+    OffLatticeError,
+    TickLattice,
+    Time,
+    TimeLike,
+    Timebase,
+    as_time,
+    check_slot_length,
+    declared_lattice_denominator,
+    make_interval,
+)
 from .trace import BacklogSample, SlotRecord, Trace
 
 __all__ = [
@@ -37,8 +51,12 @@ __all__ = [
     "ChannelStats",
     "ConfigurationError",
     "Feedback",
+    "FRACTION_TIMEBASE",
+    "FractionTimebase",
     "Interval",
     "LISTEN",
+    "MAX_LATTICE_DENOMINATOR",
+    "OffLatticeError",
     "Packet",
     "PacketQueue",
     "ProtocolError",
@@ -48,13 +66,16 @@ __all__ = [
     "SlotRecord",
     "StationAlgorithm",
     "StationRuntime",
+    "TickLattice",
     "Time",
     "TimeLike",
+    "Timebase",
     "TRANSMIT_CONTROL",
     "TRANSMIT_PACKET",
     "Trace",
     "Transmission",
     "as_time",
     "check_slot_length",
+    "declared_lattice_denominator",
     "make_interval",
 ]

@@ -14,18 +14,30 @@ and only asks for feedback of slots ending at time ``t`` once every slot
 starting before ``t`` has been recorded.  A transmission that ended at
 ``e <= t`` can only be overlapped by transmissions starting before
 ``e``, so its success is fully determined at time ``t``.
+
+Time units: the channel stores intervals in the simulator's *internal*
+timebase (exact Fractions by default, integer ticks under a
+:class:`~repro.core.timebase.TickLattice`).  Methods taking a *public*
+time (``count_successes_up_to``, ``prune_before``, ``drain_all``)
+convert at the boundary via ``floor_internal`` — exact for the
+comparisons they make, because every stored endpoint is a lattice
+point.  Public accessors (``stats``, ``first_success_end``,
+``live_records``) convert back to Fractions, so observers never see
+ticks.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..obs.probes import CollisionEvent
 from .errors import SimulationError
+from .feedback import Feedback
 from .packet import Packet
-from .timebase import Interval, Time
+from .timebase import FRACTION_TIMEBASE, Interval, Time, Timebase, as_time
 
 
 @dataclass(slots=True)
@@ -87,25 +99,59 @@ class Channel:
 
     def __init__(
         self,
-        max_transmission_duration: Optional[Fraction] = None,
+        max_transmission_duration=None,
         probes=None,
+        timebase: Optional[Timebase] = None,
     ) -> None:
+        self._timebase: Timebase = (
+            timebase if timebase is not None else FRACTION_TIMEBASE
+        )
         self._transmissions: List[Transmission] = []
         self._pruned_success_count = 0
-        self.stats = ChannelStats()
+        self._stats = ChannelStats()
         #: Optional :class:`~repro.obs.probes.ProbeBus`; the channel
         #: fires one ``collision`` event per transmission that becomes
         #: overlapped (same counting as ``stats.collisions``).
         self.probes = probes
-        #: End time of the first successful transmission observed so
-        #: far.  For runs that prune in time order this is exact.
-        self.first_success_end: Optional[Time] = None
-        #: When set (the simulator passes R), scans over the start-
-        #: sorted record list stop early: a transmission starting more
-        #: than this long before an interval cannot reach into it.
+        # Duration accumulators and the first-success watermark live in
+        # internal units; public properties convert on read.
+        self._busy_internal = self._timebase.zero
+        self._success_internal = self._timebase.zero
+        self._first_success_internal = None
+        #: When set (the simulator passes R, in internal units), scans
+        #: over the start-sorted record list stop early: a transmission
+        #: starting more than this long before an interval cannot reach
+        #: into it.
         self._max_duration = max_transmission_duration
+        # Incremental finalized-success tracking (opt-in): an
+        # end-ordered heap of records whose success flag is final once
+        # simulation time reaches their end.  Keeps per-event success
+        # polling O(log history) instead of O(history).
+        self._tracking = False
+        self._track_heap: List[Tuple[object, int, Transmission]] = []
+        self._track_seq = 0
+        self._track_count = 0
+        self._track_first_end = None
 
-    def _relevant_reversed(self, threshold_start: Fraction):
+    @property
+    def stats(self) -> ChannelStats:
+        """Aggregate counters; durations materialised as exact Fractions."""
+        stats = self._stats
+        stats.busy_time = self._timebase.to_public(self._busy_internal)
+        stats.success_time = self._timebase.to_public(self._success_internal)
+        return stats
+
+    @property
+    def first_success_end(self) -> Optional[Time]:
+        """End time of the first successful transmission finalized so far.
+
+        For runs that prune in time order this is exact.
+        """
+        if self._first_success_internal is None:
+            return None
+        return self._timebase.to_public(self._first_success_internal)
+
+    def _relevant_reversed(self, threshold_start):
         """Records that might intersect anything at/after ``threshold_start``.
 
         Iterates newest-first and stops once starts fall far enough in
@@ -145,21 +191,27 @@ class Channel:
                 f"{interval.start} after {self._transmissions[-1].interval.start}"
             )
         record = Transmission(station_id=station_id, interval=interval, packet=packet)
+        stats = self._stats
         for other in self._relevant_reversed(interval.start):
             if other.interval.overlaps(interval):
                 if not other.overlapped:
                     other.overlapped = True
-                    self.stats.collisions += 1
+                    stats.collisions += 1
                     self._probe_collision(other)
                 if not record.overlapped:
                     record.overlapped = True
-                    self.stats.collisions += 1
+                    stats.collisions += 1
                     self._probe_collision(record)
         self._transmissions.append(record)
-        self.stats.transmissions += 1
-        self.stats.busy_time += interval.duration
+        stats.transmissions += 1
+        self._busy_internal += interval.duration
         if packet is None:
-            self.stats.control_transmissions += 1
+            stats.control_transmissions += 1
+        if self._tracking:
+            self._track_seq += 1
+            heapq.heappush(
+                self._track_heap, (interval.end, self._track_seq, record)
+            )
         return record
 
     def _probe_collision(self, transmission: Transmission) -> None:
@@ -168,7 +220,7 @@ class Channel:
         if probes is not None and probes.collision:
             event = CollisionEvent(
                 station_id=transmission.station_id,
-                interval=transmission.interval,
+                interval=self._timebase.interval_public(transmission.interval),
                 is_control=transmission.is_control,
             )
             for callback in probes.collision:
@@ -177,6 +229,34 @@ class Channel:
     # ------------------------------------------------------------------
     # Feedback
     # ------------------------------------------------------------------
+
+    def feedback_for(self, slot: Interval) -> Feedback:
+        """Per-slot feedback resolved in a single bounded scan.
+
+        Equivalent to ``ACK`` if :meth:`successful_ending_within` finds a
+        record, else ``BUSY`` if :meth:`feedback_has_activity`, else
+        ``SILENCE`` — but walks the recent history once instead of
+        twice.  This is the event loop's hot path; the overlap and
+        ends-within predicates are inlined on purpose.
+        """
+        start = slot.start
+        end = slot.end
+        horizon = (
+            None if self._max_duration is None else start - self._max_duration
+        )
+        activity = False
+        for t in reversed(self._transmissions):
+            t_interval = t.interval
+            t_start = t_interval.start
+            if horizon is not None and t_start <= horizon:
+                break
+            t_end = t_interval.end
+            if not t.overlapped and start < t_end <= end:
+                # A success ending inside the slot: ACK dominates BUSY.
+                return Feedback.ACK
+            if t_start < end and start < t_end:
+                activity = True
+        return Feedback.BUSY if activity else Feedback.SILENCE
 
     def feedback_has_activity(self, slot: Interval) -> bool:
         """True when any transmission overlaps ``slot``."""
@@ -200,21 +280,83 @@ class Channel:
         return best
 
     def successes_ending_within(self, slot: Interval) -> List[Transmission]:
-        """All successful transmissions ending in ``(slot.start, slot.end]``."""
-        return [
+        """All successful transmissions ending in ``(slot.start, slot.end]``.
+
+        Uses the duration-bounded reverse scan (a transmission starting
+        more than one maximum duration before the slot cannot end inside
+        it); results stay in chronological (start) order.
+        """
+        found = [
             t
-            for t in self._transmissions
+            for t in self._relevant_reversed(slot.start)
             if t.successful and t.interval.ends_within(slot)
         ]
+        found.reverse()
+        return found
 
     def count_successes_up_to(self, moment: Time) -> int:
-        """Number of successful transmissions ended by ``moment`` (inclusive)."""
+        """Number of successful transmissions ended by ``moment`` (inclusive).
+
+        ``moment`` is a public time; the comparison against internal
+        record endpoints is exact (see module docstring).
+        """
+        mark = self._timebase.floor_internal(as_time(moment))
         live = sum(
             1
             for t in self._transmissions
-            if t.successful and t.interval.end <= moment
+            if not t.overlapped and t.interval.end <= mark
         )
         return self._pruned_success_count + live
+
+    # ------------------------------------------------------------------
+    # Incremental success finalization (the SST fast path)
+    # ------------------------------------------------------------------
+
+    def start_success_tracking(self) -> None:
+        """Begin maintaining the finalized-success counter incrementally.
+
+        Seeds the counter from successes already pruned into stats and
+        indexes the live records on an end-ordered heap; from here on
+        :meth:`begin_transmission` keeps the heap current.  Idempotent.
+        """
+        if self._tracking:
+            return
+        self._tracking = True
+        self._track_count = self._pruned_success_count
+        self._track_first_end = self._first_success_internal
+        heap = [
+            (t.interval.end, index, t)
+            for index, t in enumerate(self._transmissions)
+        ]
+        heapq.heapify(heap)
+        self._track_heap = heap
+        self._track_seq = len(heap)
+
+    def finalized_successes(self, moment) -> int:
+        """Successes with ``end <= moment`` (``moment`` in internal units).
+
+        Requires :meth:`start_success_tracking`.  Amortised O(log
+        history) per call: each record is popped exactly once, when
+        simulation time first reaches its end — the instant its success
+        flag becomes final (any overlapper must start before the end,
+        and is recorded by then).  ``moment`` must be non-decreasing
+        across calls, which the simulator's event order guarantees.
+        """
+        heap = self._track_heap
+        while heap and heap[0][0] <= moment:
+            end, _seq, record = heapq.heappop(heap)
+            if not record.overlapped:
+                self._track_count += 1
+                if self._track_first_end is None or end < self._track_first_end:
+                    self._track_first_end = end
+        return self._track_count
+
+    @property
+    def first_finalized_success_end(self) -> Optional[Time]:
+        """End of the earliest success seen by the tracker (public time)."""
+        if self._track_first_end is None:
+            return None
+        return self._timebase.to_public(self._track_first_end)
 
     # ------------------------------------------------------------------
     # Memory management
@@ -223,35 +365,56 @@ class Channel:
     def prune_before(self, low_water_mark: Time) -> None:
         """Drop transmission records that ended at or before the mark.
 
-        ``low_water_mark`` must not exceed the earliest start of any
-        still-open slot (a slot's feedback looks only at transmissions
-        ending strictly after its own start).  Success counts for pruned
-        records are folded into :class:`ChannelStats`.
+        ``low_water_mark`` is a public time; it must not exceed the
+        earliest start of any still-open slot (a slot's feedback looks
+        only at transmissions ending strictly after its own start).
+        Success counts for pruned records are folded into
+        :class:`ChannelStats`.
         """
+        self._prune_internal(self._timebase.floor_internal(as_time(low_water_mark)))
+
+    def _prune_internal(self, low_water_mark) -> None:
+        """:meth:`prune_before` with the mark already in internal units."""
         keep: List[Transmission] = []
         for t in self._transmissions:
             if t.interval.end <= low_water_mark:
-                if t.successful:
+                if not t.overlapped:
                     self._pruned_success_count += 1
-                    self.stats.successes += 1
-                    self.stats.success_time += t.interval.duration
+                    self._stats.successes += 1
+                    self._success_internal += t.interval.duration
                     if (
-                        self.first_success_end is None
-                        or t.interval.end < self.first_success_end
+                        self._first_success_internal is None
+                        or t.interval.end < self._first_success_internal
                     ):
-                        self.first_success_end = t.interval.end
+                        self._first_success_internal = t.interval.end
             else:
                 keep.append(t)
         self._transmissions = keep
 
     def drain_all(self, end_of_time: Time) -> None:
         """Finalize every record (simulation over); updates stats fully."""
-        self.prune_before(end_of_time + 1)
+        self.prune_before(as_time(end_of_time) + 1)
 
     @property
     def live_records(self) -> List[Transmission]:
-        """Transmission records not yet pruned (the recent history window)."""
-        return list(self._transmissions)
+        """Transmission records not yet pruned (the recent history window).
+
+        Under a tick-lattice timebase the returned records are copies
+        with intervals converted to public Fractions; under the default
+        Fraction timebase they are the channel's own records, as before.
+        """
+        if not self._timebase.is_lattice:
+            return list(self._transmissions)
+        interval_public = self._timebase.interval_public
+        return [
+            Transmission(
+                station_id=t.station_id,
+                interval=interval_public(t.interval),
+                packet=t.packet,
+                overlapped=t.overlapped,
+            )
+            for t in self._transmissions
+        ]
 
     @property
     def total_successes_finalized(self) -> int:

@@ -15,6 +15,18 @@ The simulator owns the four moving parts of the model in Section II:
 Events are slot boundaries, processed in ``(time, station_id)`` order.
 All timestamps are exact rationals, so executions are bit-for-bit
 deterministic and reproducible.
+
+Internally the simulator runs on a per-run *timebase*: when the slot
+adversary and arrival source both declare that every time they produce
+lies on a lattice ``k / D`` (see
+:meth:`~repro.core.timebase.declared_lattice_denominator`), all internal
+times — heap keys, slot boundaries, channel intervals — are plain
+``int`` ticks, converted back to exact Fractions only at the
+observation boundary (trace, probes, packets, public accessors).  The
+observable execution is bit-for-bit identical either way; components
+that cannot declare a lattice (adaptive/look-ahead adversaries, the
+paper's mirror and collision-forcing constructions) simply fall back to
+the Fraction path for the whole run.
 """
 
 from __future__ import annotations
@@ -22,8 +34,9 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 from fractions import Fraction
+from math import lcm
 from time import perf_counter
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..obs.probes import (
     ArrivalEvent,
@@ -38,16 +51,37 @@ from .errors import ConfigurationError, ProtocolError, SimulationError
 from .feedback import Feedback
 from .packet import Packet, PacketQueue
 from .station import Action, SlotContext, StationAlgorithm
-from .timebase import Interval, Time, TimeLike, as_time, check_slot_length
+from .timebase import (
+    FRACTION_TIMEBASE,
+    MAX_LATTICE_DENOMINATOR,
+    FractionTimebase,
+    Interval,
+    OffLatticeError,
+    TickLattice,
+    Time,
+    TimeLike,
+    Timebase,
+    as_time,
+    declared_lattice_denominator,
+)
 from .trace import SlotRecord, Trace
 
 #: How many events between channel prunes (amortizes the O(history) scan).
 _PRUNE_EVERY = 512
 
+#: Sentinel threshold for "the arrival source can never fire again".
+#: Compares greater than every internal time (int ticks or Fraction).
+_NEVER = float("inf")
+
 
 @dataclass(slots=True)
 class StationRuntime:
-    """Mutable per-station bookkeeping owned by the simulator."""
+    """Mutable per-station bookkeeping owned by the simulator.
+
+    ``slot_start`` / ``slot_end`` / ``slot_interval`` are in the run's
+    internal timebase units (identical to public time under the default
+    Fraction timebase; integer ticks under a lattice).
+    """
 
     station_id: int
     algorithm: StationAlgorithm
@@ -55,13 +89,10 @@ class StationRuntime:
     slot_index: int = -1
     slot_start: Time = Fraction(0)
     slot_end: Time = Fraction(0)
+    slot_interval: Optional[Interval] = None
     action: Optional[Action] = None
     aboard_packet: Optional[Packet] = None
     slots_elapsed: int = 0
-
-    @property
-    def slot_interval(self) -> Interval:
-        return Interval(self.slot_start, self.slot_end)
 
 
 class Simulator:
@@ -97,6 +128,16 @@ class Simulator:
         profiler: Optional :class:`~repro.obs.profiling.PhaseProfiler`;
             when present, wall time of adversary calls, channel feedback
             resolution and algorithm steps is attributed per phase.
+        timebase: Internal time representation.  ``"auto"`` (default)
+            runs on an integer tick lattice when the adversary and
+            source declare one, else on exact Fractions; ``"fraction"``
+            forces the Fraction path; ``"lattice"`` demands the fast
+            path and raises :class:`ConfigurationError` naming the
+            component that prevents it.  A
+            :class:`~repro.core.timebase.TickLattice` or
+            :class:`~repro.core.timebase.FractionTimebase` instance is
+            used as given.  Observable results are bit-for-bit
+            identical across timebases.
     """
 
     def __init__(
@@ -110,6 +151,7 @@ class Simulator:
         keep_channel_history: bool = False,
         probes: Optional[ProbeBus] = None,
         profiler=None,
+        timebase: Union[str, Timebase] = "auto",
     ) -> None:
         self.keep_channel_history = keep_channel_history
         if isinstance(algorithms, Mapping):
@@ -131,8 +173,12 @@ class Simulator:
         self.arrival_source = arrival_source
         self.probes = probes
         self.profiler = profiler
+        self._timebase = self._resolve_timebase(timebase)
+        self._max_slot_internal = self._timebase.to_internal(self.max_slot_length)
         self.channel = Channel(
-            max_transmission_duration=self.max_slot_length, probes=probes
+            max_transmission_duration=self._max_slot_internal,
+            probes=probes,
+            timebase=self._timebase,
         )
         self.trace = trace if trace is not None else Trace()
 
@@ -142,28 +188,105 @@ class Simulator:
             )
             for sid, algo in items
         }
-        self.now: Time = Fraction(0)
+        self._station_ids: Tuple[int, ...] = tuple(ids)
+        # Polling-skip fast path: sources exposing ``next_arrival_hint``
+        # promise no arrival strictly before the hinted instant, letting
+        # the event loop skip ``arrivals_until`` entirely until then.
+        self._arrival_hint = getattr(arrival_source, "next_arrival_hint", None)
+        self._arrivals_not_before = (
+            _NEVER if arrival_source is None else self._timebase.zero
+        )
+        self._now_internal = self._timebase.zero
+        self._now_exact: Optional[Time] = None
         self.events_processed = 0
-        self._event_heap: List[Tuple[Time, int]] = []
-        self._pending_arrivals: Dict[int, List[Packet]] = {sid: [] for sid in ids}
+        self._event_heap: List[Tuple[object, int]] = []
+        self._pending_arrivals: Dict[int, List[Tuple[object, Packet]]] = {
+            sid: [] for sid in ids
+        }
         self._next_packet_id = 0
         self._total_backlog = 0
         self._delivered_packets: List[Packet] = []
         self._started = False
 
         if initial_packets:
+            zero = self._timebase.zero
             for sid in ids:
                 for _ in range(initial_packets):
-                    self._inject(sid, Fraction(0))
+                    self._inject(sid, zero)
+
+    # ------------------------------------------------------------------
+    # Timebase selection
+    # ------------------------------------------------------------------
+
+    def _resolve_timebase(self, requested: Union[str, Timebase]) -> Timebase:
+        if isinstance(requested, (FractionTimebase, TickLattice)):
+            return requested
+        if requested == "fraction":
+            return FRACTION_TIMEBASE
+        if requested not in ("auto", "lattice"):
+            raise ConfigurationError(
+                "timebase must be 'auto', 'lattice', 'fraction' or a "
+                f"timebase instance, got {requested!r}"
+            )
+        lattice, why_not = self._detect_lattice()
+        if lattice is not None:
+            return lattice
+        if requested == "lattice":
+            raise ConfigurationError(
+                f"timebase='lattice' requested but {why_not}"
+            )
+        return FRACTION_TIMEBASE
+
+    def _detect_lattice(self):
+        """Try to build a per-run tick lattice from component declarations.
+
+        Returns ``(TickLattice, None)`` on success or ``(None, reason)``
+        when some component prevents the fast path.
+        """
+        adversary_den = declared_lattice_denominator(self.slot_adversary)
+        if adversary_den is None:
+            return None, (
+                f"slot adversary {type(self.slot_adversary).__name__} "
+                "does not declare a time lattice"
+            )
+        source_den = 1
+        if self.arrival_source is not None:
+            source_den = declared_lattice_denominator(self.arrival_source)
+            if source_den is None:
+                return None, (
+                    f"arrival source {type(self.arrival_source).__name__} "
+                    "does not declare a time lattice"
+                )
+        denominator = lcm(
+            adversary_den, source_den, self.max_slot_length.denominator
+        )
+        if denominator > MAX_LATTICE_DENOMINATOR:
+            return None, (
+                f"combined lattice denominator {denominator} exceeds "
+                f"{MAX_LATTICE_DENOMINATOR}"
+            )
+        return TickLattice(denominator), None
 
     # ------------------------------------------------------------------
     # Public accessors (also the adversaries' observation surface)
     # ------------------------------------------------------------------
 
     @property
-    def station_ids(self) -> List[int]:
-        """All station ids, ascending."""
-        return sorted(self.stations)
+    def timebase(self) -> Timebase:
+        """The run's internal time representation (read-only)."""
+        return self._timebase
+
+    @property
+    def now(self) -> Time:
+        """Current simulation time, always an exact public Fraction."""
+        if self._now_exact is not None:
+            return self._now_exact
+        return self._timebase.to_public(self._now_internal)
+
+    @property
+    def station_ids(self) -> Tuple[int, ...]:
+        """All station ids, ascending (cached tuple)."""
+        return self._station_ids
 
     @property
     def n_stations(self) -> int:
@@ -196,42 +319,76 @@ class Simulator:
     # Packet injection
     # ------------------------------------------------------------------
 
-    def _inject(self, station_id: int, at: Time) -> Packet:
-        """Create a packet and hold it pending until the next slot boundary."""
+    def _inject(self, station_id: int, at) -> Packet:
+        """Create a packet and hold it pending until the next slot boundary.
+
+        ``at`` is in internal units; the packet's public ``arrival_time``
+        is the exact Fraction.
+        """
+        at_public = self._timebase.to_public(at)
         packet = Packet(
-            packet_id=self._next_packet_id, station_id=station_id, arrival_time=at
+            packet_id=self._next_packet_id,
+            station_id=station_id,
+            arrival_time=at_public,
         )
         self._next_packet_id += 1
-        self._pending_arrivals[station_id].append(packet)
+        self._pending_arrivals[station_id].append((at, packet))
         self._total_backlog += 1
-        self.trace.on_backlog_change(at, self._total_backlog)
+        self.trace.on_backlog_change(at_public, self._total_backlog)
         probes = self.probes
         if probes is not None and probes.arrival:
             event = ArrivalEvent(
                 packet_id=packet.packet_id,
                 station_id=station_id,
-                at=at,
+                at=at_public,
                 backlog=self._total_backlog,
             )
             for callback in probes.arrival:
                 callback(event)
         return packet
 
-    def _pump_arrivals(self, upto: Time) -> None:
-        """Pull all arrivals with time <= ``upto`` from the source."""
+    def _pump_arrivals(self, upto) -> None:
+        """Pull all arrivals with time <= ``upto`` (internal units).
+
+        The source speaks public time: it receives the exact Fraction
+        bound and its returned instants are converted back onto the
+        internal timebase.  When the source hints at its next injection
+        instant, events strictly before the hint skip the poll: for
+        integer ticks ``upto < ceil(hint * D)`` iff ``upto/D < hint``,
+        so the skip is exact.
+        """
+        if upto < self._arrivals_not_before:
+            return
         if self.arrival_source is None:
             return
-        for at, station_id in self.arrival_source.arrivals_until(self, upto):
+        timebase = self._timebase
+        upto_public = timebase.to_public(upto)
+        for at, station_id in self.arrival_source.arrivals_until(self, upto_public):
             exact = as_time(at)
-            if exact > upto:
+            if exact > upto_public:
                 raise SimulationError(
-                    f"arrival source produced a future arrival {exact} > {upto}"
+                    f"arrival source produced a future arrival {exact} > {upto_public}"
                 )
             if station_id not in self.stations:
                 raise SimulationError(f"arrival for unknown station {station_id}")
-            self._inject(station_id, exact)
+            try:
+                internal = timebase.to_internal(exact)
+            except OffLatticeError as err:
+                raise SimulationError(
+                    f"arrival at {exact} is off the run's declared "
+                    f"1/{timebase.denominator} time lattice; fix the arrival "
+                    "source's lattice_denominator() declaration or construct "
+                    "the Simulator with timebase='fraction'"
+                ) from err
+            self._inject(station_id, internal)
+        hint_fn = self._arrival_hint
+        if hint_fn is not None:
+            hint = hint_fn()
+            self._arrivals_not_before = (
+                _NEVER if hint is None else timebase.ceil_internal(hint)
+            )
 
-    def _deliver_pending(self, runtime: StationRuntime, upto: Time) -> None:
+    def _deliver_pending(self, runtime: StationRuntime, upto) -> None:
         """Move arrivals with time <= ``upto`` into the station's queue.
 
         Called at the station's own slot boundary: the paper makes
@@ -241,12 +398,12 @@ class Simulator:
         pending = self._pending_arrivals[runtime.station_id]
         if not pending:
             return
-        still_pending: List[Packet] = []
-        for packet in pending:
-            if packet.arrival_time <= upto:
+        still_pending: List[Tuple[object, Packet]] = []
+        for at, packet in pending:
+            if at <= upto:
                 runtime.queue.push(packet)
             else:
-                still_pending.append(packet)
+                still_pending.append((at, packet))
         self._pending_arrivals[runtime.station_id] = still_pending
 
     # ------------------------------------------------------------------
@@ -270,9 +427,10 @@ class Simulator:
                 "but declares uses_control_messages=False"
             )
 
-    def _begin_slot(self, runtime: StationRuntime, start: Time, action: Action) -> None:
+    def _begin_slot(self, runtime: StationRuntime, start, action: Action) -> None:
         """Open the next slot: fix its adversarial length, start any transmission."""
-        self._validate_action(runtime, action)
+        if action.is_transmit:
+            self._validate_action(runtime, action)
         # Commit the station's intent before consulting the adversary:
         # the model's online adversary observes actions when fixing slot
         # lengths, so ``runtime.action`` must already describe the slot
@@ -289,36 +447,52 @@ class Simulator:
                 self, runtime.station_id, runtime.slot_index + 1
             )
             profiler.add("adversary", perf_counter() - began)
-        length = check_slot_length(raw_length, self.max_slot_length)
+        try:
+            length = self._timebase.check_slot_length(
+                raw_length, self._max_slot_internal
+            )
+        except OffLatticeError as err:
+            raise SimulationError(
+                f"slot adversary {type(self.slot_adversary).__name__} produced "
+                f"slot length {as_time(raw_length)} off the run's declared "
+                f"1/{self._timebase.denominator} time lattice; fix its "
+                "lattice_denominator() declaration or construct the Simulator "
+                "with timebase='fraction'"
+            ) from err
         self.open_slot(runtime, start, length)
 
-    def open_slot(self, runtime: StationRuntime, start: Time, length: Time) -> None:
+    def open_slot(self, runtime: StationRuntime, start, length) -> None:
         """Fix the pending slot's length and schedule its end event.
 
         Split out of :meth:`_begin_slot` so that look-ahead adversaries
         (see :mod:`repro.timing.lookahead`) can clone a simulator that
         is mid-decision and complete the probed slot with a candidate
-        length of their choosing.
+        length of their choosing.  ``start`` and ``length`` are in the
+        run's internal timebase units; look-ahead adversaries never
+        declare a lattice, so for them internal units are plain public
+        Fractions.
         """
         runtime.slot_index += 1
         runtime.slot_start = start
-        runtime.slot_end = start + length
+        end = start + length
+        runtime.slot_end = end
+        interval = Interval(start, end)
+        runtime.slot_interval = interval
         runtime.aboard_packet = None
         action = runtime.action
         if action is not None and action.is_transmit:
             aboard = runtime.queue.head() if action.carries_packet else None
             runtime.aboard_packet = aboard
-            self.channel.begin_transmission(
-                runtime.station_id, runtime.slot_interval, aboard
-            )
-        heapq.heappush(self._event_heap, (runtime.slot_end, runtime.station_id))
+            self.channel.begin_transmission(runtime.station_id, interval, aboard)
+        heapq.heappush(self._event_heap, (end, runtime.station_id))
         probes = self.probes
         if probes is not None and probes.slot_begin and action is not None:
+            timebase = self._timebase
             event = SlotBeginEvent(
                 station_id=runtime.station_id,
                 slot_index=runtime.slot_index,
-                start=start,
-                length=length,
+                start=timebase.to_public(start),
+                length=timebase.to_public(length),
                 action=action,
             )
             for callback in probes.slot_begin:
@@ -327,15 +501,21 @@ class Simulator:
     def _start(self) -> None:
         """Open every station's first slot at time 0."""
         self._started = True
-        self._pump_arrivals(Fraction(0))
-        for sid in self.station_ids:
+        zero = self._timebase.zero
+        self._pump_arrivals(zero)
+        for sid in self._station_ids:
             runtime = self.stations[sid]
-            self._deliver_pending(runtime, Fraction(0))
+            self._deliver_pending(runtime, zero)
             ctx = SlotContext(
                 feedback=None, queue_size=len(runtime.queue), slot_index=0
             )
-            action = self._timed_algorithm_step(runtime.algorithm.first_action, ctx)
-            self._begin_slot(runtime, Fraction(0), action)
+            if self.profiler is None:
+                action = runtime.algorithm.first_action(ctx)
+            else:
+                action = self._timed_algorithm_step(
+                    runtime.algorithm.first_action, ctx
+                )
+            self._begin_slot(runtime, zero, action)
 
     def _timed_algorithm_step(self, step: Callable[[SlotContext], Action], ctx: SlotContext) -> Action:
         """Run one automaton step, attributing its wall time when profiling."""
@@ -348,13 +528,7 @@ class Simulator:
         return action
 
     def _compute_feedback(self, runtime: StationRuntime) -> Feedback:
-        slot = runtime.slot_interval
-        success = self.channel.successful_ending_within(slot)
-        if success is not None:
-            return Feedback.ACK
-        if self.channel.feedback_has_activity(slot):
-            return Feedback.BUSY
-        return Feedback.SILENCE
+        return self.channel.feedback_for(runtime.slot_interval)
 
     def _process_event(self) -> None:
         end_time, sid = heapq.heappop(self._event_heap)
@@ -363,8 +537,12 @@ class Simulator:
             raise SimulationError(
                 f"event heap desync for station {sid}: {end_time} != {runtime.slot_end}"
             )
-        self.now = end_time
-        self._pump_arrivals(end_time)
+        self._now_internal = end_time
+        self._now_exact = None
+        # Inlined polling-skip check (``_pump_arrivals`` re-checks, but
+        # skipping the call entirely is measurable at event rate).
+        if end_time >= self._arrivals_not_before:
+            self._pump_arrivals(end_time)
         profiler = self.profiler
         if profiler is None:
             feedback = self._compute_feedback(runtime)
@@ -373,11 +551,12 @@ class Simulator:
             feedback = self._compute_feedback(runtime)
             profiler.add("channel", perf_counter() - began)
         probes = self.probes
+        timebase = self._timebase
         if probes is not None and probes.feedback:
             event = FeedbackEvent(
                 station_id=sid,
                 slot_index=runtime.slot_index,
-                at=end_time,
+                at=timebase.to_public(end_time),
                 feedback=feedback,
             )
             for callback in probes.feedback:
@@ -397,16 +576,20 @@ class Simulator:
                 raise SimulationError(
                     f"station {sid}: queue head changed under a transmission"
                 )
-            packet.mark_delivered(at=end_time, cost=runtime.slot_interval.duration)
+            end_public = timebase.to_public(end_time)
+            packet.mark_delivered(
+                at=end_public,
+                cost=timebase.to_public(runtime.slot_interval.duration),
+            )
             self._delivered_packets.append(packet)
             self._total_backlog -= 1
-            self.trace.on_backlog_change(end_time, self._total_backlog)
+            self.trace.on_backlog_change(end_public, self._total_backlog)
             delivered = True
             if probes is not None and probes.delivery:
                 event = DeliveryEvent(
                     packet_id=packet.packet_id,
                     station_id=sid,
-                    at=end_time,
+                    at=end_public,
                     latency=packet.latency,
                     cost=packet.cost,
                     backlog=self._total_backlog,
@@ -425,7 +608,7 @@ class Simulator:
             event = SlotEndEvent(
                 station_id=sid,
                 slot_index=runtime.slot_index,
-                interval=record_interval,
+                interval=timebase.interval_public(record_interval),
                 action=record_action,
                 feedback=feedback,
                 queue_size=len(runtime.queue),
@@ -441,7 +624,12 @@ class Simulator:
             queue_size=len(runtime.queue),
             slot_index=runtime.slot_index + 1,
         )
-        next_action = self._timed_algorithm_step(runtime.algorithm.on_slot_end, ctx)
+        if profiler is None:
+            next_action = runtime.algorithm.on_slot_end(ctx)
+        else:
+            next_action = self._timed_algorithm_step(
+                runtime.algorithm.on_slot_end, ctx
+            )
         self._begin_slot(runtime, end_time, next_action)
 
         if self.trace.record_slots and record_action is not None:
@@ -449,7 +637,7 @@ class Simulator:
                 SlotRecord(
                     station_id=sid,
                     slot_index=runtime.slot_index - 1,
-                    interval=record_interval,
+                    interval=timebase.interval_public(record_interval),
                     action=record_action,
                     feedback=feedback,
                     queue_size_after=len(runtime.queue),
@@ -464,7 +652,7 @@ class Simulator:
             and self.events_processed % _PRUNE_EVERY == 0
         ):
             low_water = min(rt.slot_start for rt in self.stations.values())
-            self.channel.prune_before(low_water)
+            self.channel._prune_internal(low_water)
 
     # ------------------------------------------------------------------
     # Run loops
@@ -489,6 +677,11 @@ class Simulator:
                 "run() needs at least one stopping condition"
             )
         limit_time = as_time(until_time) if until_time is not None else None
+        limit_internal = (
+            self._timebase.floor_internal(limit_time)
+            if limit_time is not None
+            else None
+        )
         if not self._started:
             self._start()
             if stop_when is not None and stop_when(self):
@@ -498,8 +691,12 @@ class Simulator:
                 return self
             if not self._event_heap:
                 raise SimulationError("event heap empty — stations always reschedule")
-            if limit_time is not None and self._event_heap[0][0] > limit_time:
-                self.now = limit_time
+            if limit_internal is not None and self._event_heap[0][0] > limit_internal:
+                # For integer ticks e and rational limit L, e > floor(L*D)
+                # iff e/D > L, so the stopping test is exact even when the
+                # limit itself is off the lattice.
+                self._now_internal = limit_internal
+                self._now_exact = limit_time
                 return self
             self._process_event()
             if stop_when is not None and stop_when(self):
@@ -512,23 +709,21 @@ class Simulator:
 
         The workhorse of SST experiments.  Returns ``None`` if
         ``max_events`` elapsed with no success (the SST algorithm failed
-        or the adversary prevented progress for that long).
+        or the adversary prevented progress for that long).  The stop
+        check uses the channel's incremental finalized-success tracker,
+        so the per-event cost is O(log history) rather than a scan of
+        the whole transmission list.
         """
+        channel = self.channel
+        channel.start_success_tracking()
 
         def succeeded(sim: "Simulator") -> bool:
-            return sim.channel.count_successes_up_to(sim.now) > 0
+            return channel.finalized_successes(sim._now_internal) > 0
 
         self.run(max_events=max_events, stop_when=succeeded)
-        if not succeeded(self):
+        if channel.finalized_successes(self._now_internal) == 0:
             return None
-        ends = [
-            t.interval.end
-            for t in self.channel.live_records
-            if t.successful and t.interval.end <= self.now
-        ]
-        if ends:
-            return min(ends)
-        return self.channel.first_success_end
+        return channel.first_finalized_success_end
 
     def slots_elapsed(self, station_id: int) -> int:
         """Completed slots of one station (the paper's cost measure for SST)."""

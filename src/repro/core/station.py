@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import copy
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from .errors import ProtocolError
@@ -58,10 +58,12 @@ class Action:
 
     kind: ActionKind
     carries_packet: bool = False
+    #: Precomputed ``kind is TRANSMIT`` — read on the event loop's hot
+    #: path for every slot, so a derived field beats a property.
+    is_transmit: bool = field(init=False)
 
-    @property
-    def is_transmit(self) -> bool:
-        return self.kind is ActionKind.TRANSMIT
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "is_transmit", self.kind is ActionKind.TRANSMIT)
 
 
 #: Shared singletons for the three meaningful actions.
@@ -70,9 +72,11 @@ TRANSMIT_PACKET = Action(ActionKind.TRANSMIT, carries_packet=True)
 TRANSMIT_CONTROL = Action(ActionKind.TRANSMIT, carries_packet=False)
 
 
-@dataclass(frozen=True, slots=True)
 class SlotContext:
     """Everything a station knows at one of its slot boundaries.
+
+    A hand-written ``__slots__`` class (one is built per processed slot,
+    so construction cost is hot-path cost).
 
     Attributes:
         feedback: Channel feedback for the slot that just ended, or
@@ -85,9 +89,32 @@ class SlotContext:
             counting one's own slots while forbidding measuring them.
     """
 
-    feedback: Optional[Feedback]
-    queue_size: int
-    slot_index: int
+    __slots__ = ("feedback", "queue_size", "slot_index")
+
+    def __init__(
+        self,
+        feedback: Optional[Feedback],
+        queue_size: int,
+        slot_index: int,
+    ) -> None:
+        self.feedback = feedback
+        self.queue_size = queue_size
+        self.slot_index = slot_index
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, SlotContext):
+            return (
+                self.feedback == other.feedback
+                and self.queue_size == other.queue_size
+                and self.slot_index == other.slot_index
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SlotContext(feedback={self.feedback!r}, "
+            f"queue_size={self.queue_size!r}, slot_index={self.slot_index!r})"
+        )
 
 
 class StationAlgorithm:

@@ -14,7 +14,11 @@ usable:
   editing code invalidates everything automatically).
 * :mod:`repro.exec.diff` — :func:`diff_results`, the engine behind
   ``repro bench diff``: compares two ``benchmarks/results`` artifact
-  directories table-by-table and fails on any value drift.
+  directories table-by-table and fails on any value drift (an optional
+  relative ``tolerance`` relaxes numeric cells for perf trajectories).
+* :mod:`repro.exec.perf` — :func:`run_perf`, the core perf suite
+  behind ``repro bench perf``: events/sec on the fraction vs
+  tick-lattice timebase with inline parity assertions.
 
 The high-level entry points most callers want live one layer up, in
 :mod:`repro.analysis`: ``run_grid(cells, jobs=4, cache=...)`` and
@@ -31,11 +35,14 @@ from .cache import (
     fingerprint,
 )
 from .diff import DiffReport, ReportDiff, diff_results, load_results
+from .perf import DEFAULT_CASES, PerfCase, run_perf, write_report
 from .pool import PoolRun, fork_available, resolve_jobs, run_tasks
 
 __all__ = [
+    "DEFAULT_CASES",
     "DiffReport",
     "MISS",
+    "PerfCase",
     "PoolRun",
     "ReportDiff",
     "ResultCache",
@@ -47,5 +54,7 @@ __all__ = [
     "fork_available",
     "load_results",
     "resolve_jobs",
+    "run_perf",
     "run_tasks",
+    "write_report",
 ]

@@ -69,7 +69,29 @@ def _cell_text(value: Any) -> str:
     return json.dumps(value) if not isinstance(value, str) else value
 
 
-def _diff_tables(old: Dict[str, Any], new: Dict[str, Any]) -> "tuple[List[str], int]":
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _cells_match(old_cell: Any, new_cell: Any, tolerance: float) -> bool:
+    """Exact equality, or numeric cells within relative ``tolerance``.
+
+    Non-numeric cells (strings, bools, nulls) always compare exactly —
+    tolerance is for measured quantities, not identities.  An old value
+    of exactly 0 admits no relative error, so only ``new == 0`` matches.
+    """
+    if old_cell == new_cell:
+        return True
+    if tolerance > 0 and _is_number(old_cell) and _is_number(new_cell):
+        if old_cell == 0:
+            return False
+        return abs(new_cell - old_cell) / abs(old_cell) <= tolerance
+    return False
+
+
+def _diff_tables(
+    old: Dict[str, Any], new: Dict[str, Any], tolerance: float = 0.0
+) -> "tuple[List[str], int]":
     """Detail lines + exact drift count for one report body."""
     notes: List[str] = []
     drifts = 0
@@ -99,7 +121,7 @@ def _diff_tables(old: Dict[str, Any], new: Dict[str, Any]) -> "tuple[List[str], 
             for c in range(max(len(old_row), len(new_row))):
                 old_cell = old_row[c] if c < len(old_row) else "<absent>"
                 new_cell = new_row[c] if c < len(new_row) else "<absent>"
-                if old_cell != new_cell:
+                if not _cells_match(old_cell, new_cell, tolerance):
                     drifts += 1
                     column = headers[c] if c < len(headers) else f"col{c}"
                     notes.append(
@@ -175,8 +197,20 @@ class DiffReport:
         return lines
 
 
-def diff_results(old_dir: "str | Path", new_dir: "str | Path") -> DiffReport:
-    """Compare two ``benchmarks/results`` directories report-by-report."""
+def diff_results(
+    old_dir: "str | Path", new_dir: "str | Path", tolerance: float = 0.0
+) -> DiffReport:
+    """Compare two ``benchmarks/results`` directories report-by-report.
+
+    ``tolerance`` relaxes the comparison for *numeric* table cells: a
+    new value within ``tolerance * |old|`` (relative) of the old one is
+    not drift.  The default ``0.0`` keeps the historical exact-identity
+    semantics; perf-smoke CI passes e.g. ``0.25`` so throughput numbers
+    may wobble while structural cells (names, counts, booleans) stay
+    byte-exact.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
     old_docs = load_results(old_dir)
     new_docs = load_results(new_dir)
     entries: List[ReportDiff] = []
@@ -191,7 +225,7 @@ def diff_results(old_dir: "str | Path", new_dir: "str | Path") -> DiffReport:
                 ReportDiff(name=name, status="added", notes=["new report"])
             )
             continue
-        notes, drifts = _diff_tables(old_docs[name], new_docs[name])
+        notes, drifts = _diff_tables(old_docs[name], new_docs[name], tolerance)
         notes.extend(_meta_notes(old_docs[name], new_docs[name]))
         entries.append(
             ReportDiff(

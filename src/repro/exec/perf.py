@@ -1,0 +1,401 @@
+"""The core perf benchmark suite: the timebase fast path, measured.
+
+This module gives the repo a *perf trajectory*: a small, fixed set of
+representative runs (AO-ARRoW, CA-ARRoW, slotted Aloha and the ABS SST
+election at several ``n`` / ``R``), each executed on both internal
+timebases —
+
+* ``fraction``: the historical always-correct exact-rational path, and
+* ``lattice``: the scaled-integer tick path of
+  :class:`~repro.core.timebase.TickLattice` —
+
+with an inline parity assertion that the two executions are
+observably identical (events, deliveries with exact delivery times,
+channel counters, final clock).  The result is one report document in
+the ``benchmarks/results`` form (``{"name", "preamble", "tables",
+"meta"}``), so ``repro bench diff --tolerance`` can police events/sec
+regressions across PRs while the deterministic columns stay
+byte-exact.
+
+Two tables:
+
+* ``cases`` — deterministic identity: event counts, deliveries,
+  the detected lattice denominator, parity.  Exact at any tolerance.
+* ``speedup`` — one row: the geometric mean of the per-case
+  lattice-over-fraction wall-time ratios.  Numeric, compared within
+  ``--tolerance`` by CI.  The ratio (not events/sec) is the
+  *machine-portable* regression signal — absolute throughput differs
+  by far more than any sane tolerance between a dev box and a CI
+  runner — and the geomean (not the per-case ratios) is the
+  *noise-proof* one: individual short quick-mode cases wobble past
+  25% on a busy runner, while averaging across six cases is stable
+  and still drops when the fast path rots.
+
+Per-case speedups and absolute events/sec (plus wall seconds,
+repeats, the quick flag) ride in the identity-exempt ``meta`` block:
+reported, rendered for humans, never failed on.
+
+Entry points: ``repro bench perf`` (CLI) and
+``benchmarks/bench_perf_core.py`` (pytest-benchmark wrapper) both call
+:func:`run_perf` / :func:`write_report`.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_CASES",
+    "PerfCase",
+    "geometric_mean_speedup",
+    "run_perf",
+    "write_report",
+]
+
+#: Report name — keys the results artifact and the CI baseline.
+REPORT_NAME = "perf_core"
+
+
+@dataclass(frozen=True)
+class PerfCase:
+    """One benchmarked configuration.
+
+    ``horizon`` / ``quick_horizon`` bound dynamic runs; SST cases run
+    ``elections`` / ``quick_elections`` back-to-back elections instead
+    (one ABS election is far too short to time on its own).  The quick
+    variants keep CI smoke runs under a second per case while the row
+    set — and therefore the diffable table shape — stays identical to
+    a full run.
+    """
+
+    name: str
+    algorithm: str
+    n: int
+    max_slot: str = "2"
+    rho: Optional[str] = "1/2"
+    seed: int = 0
+    horizon: int = 2500
+    quick_horizon: int = 600
+    kind: str = "dynamic"  # "dynamic" | "sst"
+    elections: int = 40
+    quick_elections: int = 8
+
+
+#: The default lattice-eligible suite (the acceptance set for the
+#: tentpole's >= 3x events/sec criterion).  All cases use the ``worst``
+#: cyclic schedule, which declares a time lattice, so ``timebase="auto"``
+#: resolves to the tick path.
+DEFAULT_CASES: Tuple[PerfCase, ...] = (
+    PerfCase(name="ao-arrow-n8-R2", algorithm="ao-arrow", n=8),
+    PerfCase(name="ca-arrow-n8-R2", algorithm="ca-arrow", n=8),
+    PerfCase(
+        name="ca-arrow-n16-R2",
+        algorithm="ca-arrow",
+        n=16,
+        horizon=1500,
+        quick_horizon=400,
+    ),
+    PerfCase(
+        name="ca-arrow-n8-R5/2", algorithm="ca-arrow", n=8, max_slot="5/2"
+    ),
+    PerfCase(name="aloha-n8-R2", algorithm="aloha", n=8, seed=3),
+    # 16 quick elections, not fewer: the speedup ratio of a shorter
+    # batch is noisy enough to trip the CI diff tolerance either way.
+    PerfCase(
+        name="abs-sst-n64-R2",
+        algorithm="abs",
+        n=64,
+        rho=None,
+        kind="sst",
+        quick_elections=16,
+    ),
+)
+
+
+def _case_spec(case: PerfCase):
+    from ..scenarios import ScenarioSpec
+
+    return ScenarioSpec(
+        algorithm=case.algorithm,
+        n=case.n,
+        max_slot=case.max_slot,
+        schedule="worst",
+        rho=case.rho,
+        seed=case.seed,
+        horizon=max(case.horizon, 1),
+    )
+
+
+def _stats_tuple(sim) -> Tuple[Any, ...]:
+    stats = sim.channel.stats
+    return (
+        stats.transmissions,
+        stats.successes,
+        stats.collisions,
+        stats.control_transmissions,
+        stats.busy_time,
+        stats.success_time,
+    )
+
+
+def _run_dynamic(case: PerfCase, timebase: str, horizon: int):
+    """One timed dynamic run; returns (fingerprint, events, wall_s)."""
+    spec = _case_spec(case)
+    sim = spec.build(timebase=timebase)
+    began = perf_counter()
+    sim.run(until_time=horizon)
+    wall = perf_counter() - began
+    sim.channel.drain_all(sim.now)
+    fingerprint = (
+        sim.events_processed,
+        sim.now,
+        sim.total_backlog,
+        sim.trace.max_backlog,
+        tuple(p.delivered_time for p in sim.delivered_packets),
+        _stats_tuple(sim),
+    )
+    return fingerprint, sim.events_processed, wall, sim.timebase
+
+
+def _run_sst(case: PerfCase, timebase: str, elections: int):
+    """``elections`` back-to-back ABS elections, timed as one sample."""
+    spec = _case_spec(case)
+    events = 0
+    ends = []
+    slots = []
+    began = perf_counter()
+    for _ in range(elections):
+        sim = spec.build(timebase=timebase)
+        end = sim.run_until_success(max_events=5_000_000)
+        events += sim.events_processed
+        ends.append(end)
+        slots.append(sim.max_slots_elapsed())
+    wall = perf_counter() - began
+    fingerprint = (events, tuple(ends), tuple(slots))
+    return fingerprint, events, wall, sim.timebase
+
+
+def _run_case(
+    case: PerfCase, timebase: str, quick: bool, repeats: int
+):
+    """Best-of-``repeats`` timing for one case on one timebase."""
+    best = None
+    for _ in range(max(repeats, 1)):
+        if case.kind == "sst":
+            sample = _run_sst(
+                case,
+                timebase,
+                case.quick_elections if quick else case.elections,
+            )
+        else:
+            sample = _run_dynamic(
+                case,
+                timebase,
+                case.quick_horizon if quick else case.horizon,
+            )
+        if best is None or sample[2] < best[2]:
+            best = sample
+        if best is not None and sample[0] != best[0]:
+            raise RuntimeError(
+                f"{case.name}: non-deterministic repeat on the "
+                f"{timebase} timebase"
+            )
+    return best
+
+
+def geometric_mean_speedup(rows: Sequence[Dict[str, Any]]) -> float:
+    """Geometric mean of per-case speedups (ratio of ratios safe)."""
+    product = 1.0
+    for row in rows:
+        product *= row["speedup"]
+    return product ** (1.0 / len(rows)) if rows else 0.0
+
+
+def run_perf(
+    cases: Optional[Sequence[PerfCase]] = None,
+    quick: bool = False,
+    repeats: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Run the suite; returns the results-form report document.
+
+    Every case is executed on both timebases and the observable
+    executions are asserted identical before any number is reported —
+    a perf result that broke parity would be worthless.
+    """
+    suite = tuple(DEFAULT_CASES if cases is None else cases)
+    if repeats is None:
+        # Even quick mode takes best-of-2: a single noisy sample can
+        # swing the speedup ratio past any reasonable CI tolerance.
+        repeats = 2 if quick else 3
+    measured: List[Dict[str, Any]] = []
+    for case in suite:
+        frac_fp, events, frac_s, _ = _run_case(case, "fraction", quick, repeats)
+        lat_fp, lat_events, lat_s, lattice = _run_case(
+            case, "lattice", quick, repeats
+        )
+        if frac_fp != lat_fp or events != lat_events:
+            raise RuntimeError(
+                f"{case.name}: lattice/fraction parity violation — "
+                "the fast timebase changed the observable execution"
+            )
+        if not lattice.is_lattice:
+            raise RuntimeError(
+                f"{case.name}: expected a tick lattice, got "
+                f"{lattice.describe()}"
+            )
+        measured.append(
+            {
+                "case": case.name,
+                "algorithm": case.algorithm,
+                "n": case.n,
+                "R": case.max_slot,
+                "work": (
+                    f"{case.quick_elections if quick else case.elections}"
+                    " elections"
+                    if case.kind == "sst"
+                    else f"horizon {case.quick_horizon if quick else case.horizon}"
+                ),
+                "denominator": lattice.denominator,
+                "events": events,
+                "fraction_s": frac_s,
+                "lattice_s": lat_s,
+                "fraction_evps": round(events / frac_s),
+                "lattice_evps": round(events / lat_s),
+                "speedup": round(frac_s / lat_s, 2),
+            }
+        )
+
+    case_rows = [
+        [
+            row["case"],
+            row["algorithm"],
+            row["n"],
+            row["R"],
+            row["work"],
+            row["denominator"],
+            row["events"],
+            "ok",
+        ]
+        for row in measured
+    ]
+    geomean = round(geometric_mean_speedup(measured), 2)
+    document: Dict[str, Any] = {
+        "name": REPORT_NAME,
+        "preamble": [
+            "core perf suite: events/sec on the fraction vs tick-lattice "
+            "timebase",
+            "parity asserted per case: both paths produce identical "
+            "executions",
+            f"mode: {'quick (CI smoke)' if quick else 'full'}",
+        ],
+        "tables": [
+            {
+                "headers": [
+                    "case",
+                    "algorithm",
+                    "n",
+                    "R",
+                    "work",
+                    "D",
+                    "events",
+                    "parity",
+                ],
+                "rows": case_rows,
+            },
+            {
+                "headers": ["case", "speedup"],
+                "rows": [["geomean", geomean]],
+            },
+        ],
+        "meta": {
+            "quick": quick,
+            "repeats": repeats,
+            "geomean_speedup": geomean,
+            "wall_s": round(
+                sum(r["fraction_s"] + r["lattice_s"] for r in measured), 3
+            ),
+            "python": sys.version.split()[0],
+            # Absolute throughput is a fact about the machine, not the
+            # code — informational only, never diffed as drift.
+            "throughput": {
+                row["case"]: {
+                    "fraction_ev/s": row["fraction_evps"],
+                    "lattice_ev/s": row["lattice_evps"],
+                    "speedup": row["speedup"],
+                }
+                for row in measured
+            },
+        },
+    }
+    return document
+
+
+def _render_table(block: Dict[str, Any]) -> List[str]:
+    headers = [str(h) for h in block["headers"]]
+    rows = [[str(cell) for cell in row] for row in block["rows"]]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(w) for cell, w in zip(cells, widths))
+
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return lines
+
+
+def render_report(document: Dict[str, Any]) -> List[str]:
+    """Human-readable lines for one report document.
+
+    Includes the (diff-exempt) per-case events/sec from ``meta`` —
+    humans want the absolute numbers even though CI only polices the
+    speedup ratios.
+    """
+    lines = list(document.get("preamble", []))
+    for block in document.get("tables", []):
+        lines.append("")
+        lines.extend(_render_table(block))
+    throughput = (document.get("meta") or {}).get("throughput") or {}
+    if throughput:
+        lines.append("")
+        lines.extend(
+            _render_table(
+                {
+                    "headers": ["case", "fraction_ev/s", "lattice_ev/s",
+                                "speedup"],
+                    "rows": [
+                        [case, cell["fraction_ev/s"], cell["lattice_ev/s"],
+                         cell["speedup"]]
+                        for case, cell in throughput.items()
+                    ],
+                }
+            )
+        )
+    return lines
+
+
+def write_report(
+    document: Dict[str, Any], results_dir: "str | pathlib.Path"
+) -> Tuple[pathlib.Path, pathlib.Path]:
+    """Persist ``<name>.json`` + ``<name>.txt`` under ``results_dir``.
+
+    The JSON mirror is exactly what :func:`repro.exec.diff_results`
+    consumes; the text file is for humans and EXPERIMENTS.md links.
+    """
+    root = pathlib.Path(results_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    name = document["name"]
+    json_path = root / f"{name}.json"
+    json_path.write_text(
+        json.dumps(document, indent=2, sort_keys=False) + "\n"
+    )
+    txt_path = root / f"{name}.txt"
+    txt_path.write_text("\n".join(render_report(document)) + "\n")
+    return json_path, txt_path

@@ -369,8 +369,16 @@ class ScenarioSpec:
         keep_channel_history: bool = False,
         probes: Optional[Any] = None,
         profiler: Optional[Any] = None,
+        timebase: Any = "auto",
     ) -> Simulator:
-        """A ready :class:`~repro.core.simulator.Simulator` for this spec."""
+        """A ready :class:`~repro.core.simulator.Simulator` for this spec.
+
+        ``timebase`` selects the simulator's internal time
+        representation (``"auto"`` / ``"lattice"`` / ``"fraction"`` or
+        an adapter instance).  It is a *run* option, not part of the
+        spec: the observable execution is bit-for-bit identical either
+        way, so it never participates in serialization or cache keys.
+        """
         return Simulator(
             self.build_fleet(),
             self.build_schedule(),
@@ -381,6 +389,7 @@ class ScenarioSpec:
             keep_channel_history=keep_channel_history,
             probes=probes,
             profiler=profiler,
+            timebase=timebase,
         )
 
     def to_cell(

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import random
 from fractions import Fraction
+from math import lcm
 from typing import Callable, Dict, Mapping, Optional, Sequence
 
 from ..core.errors import ConfigurationError
@@ -35,6 +36,17 @@ class SlotAdversary:
     def next_slot_length(self, sim, station_id: int, slot_index: int) -> TimeLike:
         raise NotImplementedError
 
+    def lattice_denominator(self) -> Optional[int]:
+        """Smallest ``D`` such that every produced length is a multiple
+        of ``1/D``, or ``None`` when no such bound can be promised.
+
+        Declaring a lattice lets the simulator run on the scaled-integer
+        fast timebase (see :mod:`repro.core.timebase`).  The base class
+        stays conservative: adaptive or hand-rolled adversaries must opt
+        in explicitly.
+        """
+        return None
+
 
 class Synchronous(SlotAdversary):
     """The classical fully synchronous channel: every slot has length 1.
@@ -45,6 +57,9 @@ class Synchronous(SlotAdversary):
 
     def next_slot_length(self, sim, station_id: int, slot_index: int) -> Fraction:
         return Fraction(1)
+
+    def lattice_denominator(self) -> int:
+        return 1
 
 
 class FixedLength(SlotAdversary):
@@ -60,6 +75,9 @@ class FixedLength(SlotAdversary):
 
     def next_slot_length(self, sim, station_id: int, slot_index: int) -> Fraction:
         return self.length
+
+    def lattice_denominator(self) -> int:
+        return self.length.denominator
 
 
 class PerStationFixed(SlotAdversary):
@@ -83,6 +101,9 @@ class PerStationFixed(SlotAdversary):
             raise ConfigurationError(
                 f"PerStationFixed has no length for station {station_id}"
             ) from None
+
+    def lattice_denominator(self) -> int:
+        return lcm(*(length.denominator for length in self.lengths.values()))
 
 
 class CyclicPattern(SlotAdversary):
@@ -108,6 +129,15 @@ class CyclicPattern(SlotAdversary):
                 f"CyclicPattern has no pattern for station {station_id}"
             ) from None
         return pattern[slot_index % len(pattern)]
+
+    def lattice_denominator(self) -> int:
+        return lcm(
+            *(
+                length.denominator
+                for pattern in self.patterns.values()
+                for length in pattern
+            )
+        )
 
 
 class RandomUniform(SlotAdversary):
@@ -138,6 +168,9 @@ class RandomUniform(SlotAdversary):
         k = self._rng.randint(0, self._steps)
         return 1 + Fraction(k, self._denominator)
 
+    def lattice_denominator(self) -> int:
+        return self._denominator
+
 
 class TableDriven(SlotAdversary):
     """Explicit per-station, per-slot length table with a default tail.
@@ -163,6 +196,16 @@ class TableDriven(SlotAdversary):
             return row[slot_index]
         return self.default
 
+    def lattice_denominator(self) -> int:
+        return lcm(
+            self.default.denominator,
+            *(
+                length.denominator
+                for row in self.table.values()
+                for length in row
+            ),
+        )
+
 
 class Adaptive(SlotAdversary):
     """Wrap an arbitrary decision function as an adversary.
@@ -170,13 +213,28 @@ class Adaptive(SlotAdversary):
     ``decide(sim, station_id, slot_index)`` sees the live simulator —
     queue sizes, algorithm states, channel history — and returns a
     length.  The theorem adversaries build on this directly.
+
+    By default an adaptive adversary declares no time lattice (the
+    decision function is a black box), so runs fall back to the exact
+    Fraction timebase.  Callers that *know* every produced length is a
+    multiple of ``1/D`` can pass ``lattice_denominator=D`` to keep the
+    fast path; a length off the promised lattice then fails the run
+    loudly instead of silently losing exactness.
     """
 
-    def __init__(self, decide: Callable[[object, int, int], TimeLike]) -> None:
+    def __init__(
+        self,
+        decide: Callable[[object, int, int], TimeLike],
+        lattice_denominator: Optional[int] = None,
+    ) -> None:
         self._decide = decide
+        self._lattice_denominator = lattice_denominator
 
     def next_slot_length(self, sim, station_id: int, slot_index: int) -> TimeLike:
         return self._decide(sim, station_id, slot_index)
+
+    def lattice_denominator(self) -> Optional[int]:
+        return self._lattice_denominator
 
 
 class StretchTransmitters(SlotAdversary):
@@ -203,6 +261,9 @@ class StretchTransmitters(SlotAdversary):
             return self.max_length
         return Fraction(1)
 
+    def lattice_denominator(self) -> int:
+        return self.max_length.denominator
+
 
 def worst_case_for(max_length: TimeLike) -> SlotAdversary:
     """The default adversarial schedule used by the stability benches.
@@ -214,14 +275,16 @@ def worst_case_for(max_length: TimeLike) -> SlotAdversary:
     if upper == 1:
         return Synchronous()
     mid = (1 + upper) / 2
+    one = Fraction(1)
+    odd_pattern = (one, upper, mid)
+    even_pattern = (upper, one, one, mid)
 
     class _Worst(SlotAdversary):
         def next_slot_length(self, sim, station_id: int, slot_index: int) -> Fraction:
-            pattern = (
-                (Fraction(1), upper, mid)
-                if station_id % 2
-                else (upper, Fraction(1), Fraction(1), mid)
-            )
+            pattern = odd_pattern if station_id % 2 else even_pattern
             return pattern[slot_index % len(pattern)]
+
+        def lattice_denominator(self) -> int:
+            return lcm(upper.denominator, mid.denominator)
 
     return _Worst()

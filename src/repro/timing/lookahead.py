@@ -61,6 +61,14 @@ class MaxOverlapAdversary(SlotAdversary):
             return Fraction(1)
         return min(self.max_length, reach + Fraction(1, 4))
 
+    def lattice_denominator(self) -> None:
+        # The produced lengths depend on run-dependent boundary gaps
+        # (``reach``), so no static denominator bound exists; this also
+        # pins the run to the Fraction timebase, which the arithmetic
+        # above (public ``sim.now`` mixed with runtime slot boundaries)
+        # requires.
+        return None
+
 
 class CloningGreedyAdversary(SlotAdversary):
     """One-step greedy adversary with simulated look-ahead.
@@ -137,3 +145,9 @@ class CloningGreedyAdversary(SlotAdversary):
                 best_score = score
                 best_candidate = candidate
         return best_candidate
+
+    def lattice_denominator(self) -> None:
+        # Cloning look-ahead feeds ``clone.now`` (a public Fraction)
+        # back into ``open_slot`` (internal units), which is only unit-
+        # correct on the Fraction timebase — so never declare a lattice.
+        return None

@@ -4,7 +4,7 @@ from fractions import Fraction
 
 import pytest
 
-from repro.core import Channel, SimulationError, make_interval
+from repro.core import Channel, Feedback, SimulationError, make_interval
 
 
 def tx(channel, sid, a, b):
@@ -151,3 +151,74 @@ class TestPruning:
         ch = Channel()
         ch.begin_transmission(1, make_interval(0, 1), packet=None)
         assert ch.stats.control_transmissions == 1
+
+
+class TestFeedbackFor:
+    """The fused single-pass oracle equals the three-call composition."""
+
+    def _expected(self, ch, slot):
+        if ch.successful_ending_within(slot) is not None:
+            return Feedback.ACK
+        if ch.feedback_has_activity(slot):
+            return Feedback.BUSY
+        return Feedback.SILENCE
+
+    def test_matches_composed_oracle_on_mixed_history(self):
+        ch = Channel()
+        tx(ch, 1, 0, 1)                      # success
+        tx(ch, 2, 2, 4)                      # collides with next
+        tx(ch, 3, 3, 5)
+        tx(ch, 1, 6, Fraction(15, 2))        # success, rational end
+        for a, b in [(0, 1), (1, 2), (0, 4), (2, 3), (4, 5), (5, 6),
+                     (6, 8), (0, 8), (Fraction(13, 2), 7)]:
+            slot = make_interval(a, b)
+            assert ch.feedback_for(slot) is self._expected(ch, slot), (a, b)
+
+    def test_ack_dominates_overlapping_collision(self):
+        ch = Channel()
+        tx(ch, 1, 0, 3)                      # collided pair spans the slot
+        tx(ch, 2, 1, 4)
+        tx(ch, 3, 5, 6)                      # clean success
+        assert ch.feedback_for(make_interval(2, 6)) is Feedback.ACK
+
+    def test_silence_after_touching_transmission(self):
+        ch = Channel()
+        tx(ch, 1, 0, 2)
+        assert ch.feedback_for(make_interval(2, 3)) is Feedback.SILENCE
+
+    def test_busy_without_finished_success(self):
+        ch = Channel()
+        tx(ch, 1, 0, 4)
+        assert ch.feedback_for(make_interval(1, 3)) is Feedback.BUSY
+
+
+class TestSuccessTracker:
+    """Incremental finalized-success counter vs the counting scan."""
+
+    def test_matches_count_successes_up_to(self):
+        ch = Channel()
+        ch.start_success_tracking()
+        for k in range(6):
+            tx(ch, 1, 2 * k, 2 * k + 1)
+        for moment in range(0, 13):
+            assert ch.finalized_successes(Fraction(moment)) == \
+                ch.count_successes_up_to(Fraction(moment))
+
+    def test_collisions_never_counted(self):
+        ch = Channel()
+        ch.start_success_tracking()
+        tx(ch, 1, 0, 2)
+        tx(ch, 2, 1, 3)
+        tx(ch, 3, 4, 5)
+        assert ch.finalized_successes(Fraction(10)) == 1
+        assert ch.first_finalized_success_end == Fraction(5)
+
+    def test_survives_pruning(self):
+        ch = Channel()
+        ch.start_success_tracking()
+        for k in range(8):
+            tx(ch, 1, 2 * k, 2 * k + 1)
+        ch.prune_before(Fraction(9))
+        tx(ch, 1, 20, 21)
+        assert ch.finalized_successes(Fraction(30)) == 9
+        assert ch.first_finalized_success_end == Fraction(1)

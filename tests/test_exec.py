@@ -321,3 +321,93 @@ class TestCliSurface:
         assert main(["cache", "clear", "--cache-dir", str(tmp_path / "c")]) == 0
         assert "1" in capsys.readouterr().out
         assert list(cache.entries()) == []
+
+
+class TestDiffTolerance:
+    """Relative tolerance for numeric cells (the perf-smoke contract)."""
+
+    def test_within_tolerance_is_clean(self, tmp_path):
+        write_report(tmp_path / "old", "perf", [[2, 100], [4, 200]])
+        write_report(tmp_path / "new", "perf", [[2, 110], [4, 180]])
+        assert diff_results(tmp_path / "old", tmp_path / "new",
+                            tolerance=0.25).clean
+
+    def test_beyond_tolerance_fails(self, tmp_path):
+        write_report(tmp_path / "old", "perf", [[2, 100]])
+        write_report(tmp_path / "new", "perf", [[2, 126]])
+        report = diff_results(tmp_path / "old", tmp_path / "new",
+                              tolerance=0.25)
+        assert not report.clean
+        assert "100 -> 126" in "\n".join(report.render())
+
+    def test_strings_and_bools_stay_exact(self, tmp_path):
+        write_report(tmp_path / "old", "perf", [["ok", True, 10]])
+        write_report(tmp_path / "new", "perf", [["OK", True, 10]])
+        assert not diff_results(tmp_path / "old", tmp_path / "new",
+                                tolerance=10.0).clean
+        write_report(tmp_path / "new2", "perf", [["ok", False, 10]])
+        assert not diff_results(tmp_path / "old", tmp_path / "new2",
+                                tolerance=10.0).clean
+
+    def test_old_zero_admits_only_zero(self, tmp_path):
+        write_report(tmp_path / "old", "perf", [[0, 0]])
+        write_report(tmp_path / "new", "perf", [[0, 1]])
+        assert not diff_results(tmp_path / "old", tmp_path / "new",
+                                tolerance=0.5).clean
+
+    def test_default_stays_exact(self, tmp_path):
+        write_report(tmp_path / "old", "perf", [[2, 100]])
+        write_report(tmp_path / "new", "perf", [[2, 101]])
+        assert not diff_results(tmp_path / "old", tmp_path / "new").clean
+
+    def test_negative_tolerance_rejected(self, tmp_path):
+        write_report(tmp_path / "old", "perf", [[2, 100]])
+        with pytest.raises(ValueError):
+            diff_results(tmp_path / "old", tmp_path / "old", tolerance=-0.1)
+
+    def test_cli_tolerance_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        write_report(tmp_path / "old", "perf", [[2, 100]])
+        write_report(tmp_path / "new", "perf", [[2, 110]])
+        assert main(["bench", "diff", str(tmp_path / "old"),
+                     str(tmp_path / "new")]) == 1
+        capsys.readouterr()
+        assert main(["bench", "diff", "--tolerance", "0.25",
+                     str(tmp_path / "old"), str(tmp_path / "new")]) == 0
+
+
+class TestPerfSuite:
+    """Unit-level checks of repro.exec.perf (full runs live in benchmarks/)."""
+
+    def _tiny_case(self):
+        from repro.exec.perf import PerfCase
+
+        return PerfCase(name="tiny", algorithm="ca-arrow", n=3,
+                        horizon=120, quick_horizon=120)
+
+    def test_report_form_and_parity(self, tmp_path):
+        from repro.exec.perf import run_perf, write_report as write_perf
+
+        document = run_perf(cases=[self._tiny_case()], quick=True, repeats=1)
+        assert document["name"] == "perf_core"
+        case_table, speedup_table = document["tables"]
+        assert case_table["rows"][0][0] == "tiny"
+        assert case_table["rows"][0][-1] == "ok"
+        assert speedup_table["headers"] == ["case", "speedup"]
+        assert speedup_table["rows"] == [
+            ["geomean", document["meta"]["geomean_speedup"]]
+        ]
+        assert isinstance(speedup_table["rows"][0][1], float)
+        assert "speedup" in document["meta"]["throughput"]["tiny"]
+        json_path, txt_path = write_perf(document, tmp_path)
+        assert json.loads(json_path.read_text())["name"] == "perf_core"
+        assert "speedup" in txt_path.read_text()
+
+    def test_quick_and_full_share_row_shape(self):
+        from repro.exec.perf import run_perf
+
+        quick = run_perf(cases=[self._tiny_case()], quick=True, repeats=1)
+        full = run_perf(cases=[self._tiny_case()], quick=False, repeats=1)
+        assert [len(t["rows"]) for t in quick["tables"]] == \
+            [len(t["rows"]) for t in full["tables"]]

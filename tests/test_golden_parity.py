@@ -1,19 +1,33 @@
-"""Golden parity: the scenario refactor changed no observable output.
+"""Golden parity: refactors changed no observable output.
 
-The fixtures under ``tests/golden/`` were recorded on the pre-scenario
-code (hand-wired ``Simulator(...)`` construction in the CLI and grid).
-Every comparison here is bit-for-bit: the declarative layer must
-reproduce the old call sites exactly, including float formatting.
+Two generations of fixtures are policed here:
+
+* The fixtures under ``tests/golden/`` were recorded on the
+  pre-scenario code (hand-wired ``Simulator(...)`` construction in the
+  CLI and grid).  Every comparison is bit-for-bit: the declarative
+  layer must reproduce the old call sites exactly, including float
+  formatting.
+* :class:`TestTimebaseParity` holds the tick-lattice timebase to the
+  same standard: for every bundled scenario (and the SST setting) the
+  integer fast path must produce an execution *indistinguishable* from
+  the exact-Fraction path — same events, same delivery instants, same
+  channel counters — and components that live off the lattice must
+  fall back to Fractions rather than approximate.
 """
 
 import json
 import pathlib
+from fractions import Fraction
+
+import pytest
 
 from repro.analysis import ExperimentCell, run_grid_report
 from repro.cli import main
-from repro.scenarios import ScenarioSpec
+from repro.core.errors import ConfigurationError
+from repro.scenarios import ScenarioSpec, load_spec
 
 GOLDEN = pathlib.Path(__file__).resolve().parent / "golden"
+SCENARIOS = pathlib.Path(__file__).resolve().parents[1] / "scenarios"
 
 
 def _golden(name: str) -> str:
@@ -51,6 +65,127 @@ class TestCliGolden:
         code = main(["scenario", "run", str(path)])
         assert code == 0
         assert capsys.readouterr().out == _golden("cli_ca_arrow_worst.txt")
+
+
+def _fingerprint(sim):
+    """Every public observable of one finished run, as one comparable value.
+
+    ``drain_all`` first: in-flight transmissions finalize at different
+    internal instants on the two timebases, and parity is only promised
+    at the observation boundary.
+    """
+    sim.channel.drain_all(sim.now)
+    stats = sim.channel.stats
+    return (
+        sim.events_processed,
+        sim.now,
+        sim.total_backlog,
+        sim.trace.max_backlog,
+        tuple(
+            (p.packet_id, p.station_id, p.arrival_time, p.delivered_time, p.cost)
+            for p in sim.delivered_packets
+        ),
+        (stats.transmissions, stats.successes, stats.collisions,
+         stats.control_transmissions, stats.busy_time, stats.success_time),
+    )
+
+
+class TestTimebaseParity:
+    """S4: the tick-lattice fast path is observably invisible."""
+
+    @pytest.mark.parametrize(
+        "path", sorted(SCENARIOS.glob("*.json")), ids=lambda p: p.stem
+    )
+    def test_bundled_scenarios_bit_identical(self, path):
+        spec = load_spec(path).replace(horizon=600)
+        runs = {}
+        for requested in ("fraction", "lattice"):
+            sim = spec.build(timebase=requested)
+            assert sim.timebase.is_lattice is (requested == "lattice")
+            sim.run(until_time=spec.horizon)
+            runs[requested] = _fingerprint(sim)
+        assert runs["fraction"] == runs["lattice"]
+        # Exactness, not floats: delivery times stay Fractions (or ints
+        # equal to them) after the boundary conversion.
+        for entry in runs["lattice"][4]:
+            assert isinstance(entry[3], (int, Fraction))
+
+    def test_sst_election_bit_identical(self):
+        spec = ScenarioSpec(algorithm="abs", n=16, max_slot=2, schedule="worst")
+        outcomes = {}
+        for requested in ("fraction", "lattice"):
+            sim = spec.build(timebase=requested)
+            end = sim.run_until_success(max_events=1_000_000)
+            outcomes[requested] = (end, sim.max_slots_elapsed(), _fingerprint(sim))
+        assert outcomes["fraction"] == outcomes["lattice"]
+        assert outcomes["lattice"][0] is not None
+
+    def test_auto_detects_lattice_on_bundled_scenarios(self):
+        for path in sorted(SCENARIOS.glob("*.json")):
+            sim = load_spec(path).build()  # timebase="auto"
+            assert sim.timebase.is_lattice, path.stem
+
+    def test_cli_golden_identical_under_forced_fraction(self, capsys):
+        """The recorded golden bytes don't depend on the timebase."""
+        code = main(
+            ["run", "--algorithm", "ca-arrow", "--n", "4", "--max-slot", "2",
+             "--rho", "1/2", "--horizon", "2000", "--schedule", "worst",
+             "--seed", "0", "--timebase", "fraction"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == _golden("cli_ca_arrow_worst.txt")
+
+
+class TestOffLatticeFallback:
+    """Components without a declared lattice demote the run to Fractions."""
+
+    def test_adaptive_adversary_falls_back(self):
+        from repro.algorithms import CAArrow
+        from repro.core import Simulator
+        from repro.timing import Adaptive
+
+        adversary = Adaptive(lambda sim, sid, idx: Fraction(3, 2))
+        sim = Simulator(
+            {i: CAArrow(i, 3, Fraction(2)) for i in range(1, 4)},
+            adversary, max_slot_length=2,
+        )
+        assert sim.timebase.is_lattice is False
+        with pytest.raises(ConfigurationError, match="Adaptive"):
+            Simulator(
+                {i: CAArrow(i, 3, Fraction(2)) for i in range(1, 4)},
+                adversary, max_slot_length=2, timebase="lattice",
+            )
+
+    def test_lookahead_adversaries_fall_back_and_still_force_collisions(self):
+        """Off-lattice mirror/cloning adversaries run correctly on the
+        Fraction path (their theorem-level guarantees are exercised in
+        test_collision_forcer / test_mirror_lowerbound; here we pin the
+        timebase demotion itself)."""
+        from repro.algorithms import CAArrow
+        from repro.core import Simulator
+        from repro.timing import CloningGreedyAdversary, MaxOverlapAdversary
+
+        for adversary in (
+            MaxOverlapAdversary(Fraction(2)),
+            CloningGreedyAdversary(Fraction(2)),
+        ):
+            sim = Simulator(
+                {i: CAArrow(i, 3, Fraction(2)) for i in range(1, 4)},
+                adversary, max_slot_length=2,
+            )
+            assert sim.timebase.is_lattice is False
+            sim.run(until_time=50)
+            assert sim.events_processed > 0
+
+    def test_off_lattice_source_falls_back(self):
+        spec = ScenarioSpec(
+            algorithm="ca-arrow", n=4, max_slot=2, schedule="worst",
+            rho="1/2", source={"name": "poisson"}, horizon=200,
+        )
+        sim = spec.build()
+        assert sim.timebase.is_lattice is False
+        with pytest.raises(ConfigurationError, match="[Pp]oisson"):
+            spec.build(timebase="lattice")
 
 
 class TestGridGolden:

@@ -48,11 +48,11 @@ class FeedbackRecorder(StationAlgorithm):
 class TestConstruction:
     def test_sequence_gets_one_based_ids(self):
         sim = Simulator([AlwaysListen(), AlwaysListen()], Synchronous(), 1)
-        assert sim.station_ids == [1, 2]
+        assert sim.station_ids == (1, 2)
 
     def test_mapping_keeps_explicit_ids(self):
         sim = Simulator({3: AlwaysListen(), 7: AlwaysListen()}, Synchronous(), 1)
-        assert sim.station_ids == [3, 7]
+        assert sim.station_ids == (3, 7)
 
     def test_empty_station_set_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -4,7 +4,17 @@ from fractions import Fraction
 
 import pytest
 
-from repro.core import ConfigurationError, Interval, as_time, check_slot_length, make_interval
+from repro.core import (
+    FRACTION_TIMEBASE,
+    ConfigurationError,
+    Interval,
+    OffLatticeError,
+    TickLattice,
+    as_time,
+    check_slot_length,
+    declared_lattice_denominator,
+    make_interval,
+)
 
 
 class TestAsTime:
@@ -117,3 +127,81 @@ class TestInterval:
         transmission = make_interval(0, Fraction(3, 2))
         slot = make_interval(1, 2)
         assert transmission.ends_within(slot)
+
+
+class TestTickLattice:
+    def test_round_trip_on_lattice(self):
+        tb = TickLattice(4)
+        for t in (Fraction(0), Fraction(1, 4), Fraction(5, 2), Fraction(7)):
+            ticks = tb.to_internal(t)
+            assert isinstance(ticks, int)
+            assert tb.to_public(ticks) == t
+
+    def test_off_lattice_time_rejected(self):
+        tb = TickLattice(4)
+        with pytest.raises(OffLatticeError):
+            tb.to_internal(Fraction(1, 3))
+
+    def test_floor_and_ceil_conversion(self):
+        tb = TickLattice(4)
+        # floor: largest tick <= t; ceil: smallest tick >= t.
+        assert tb.floor_internal(Fraction(1, 3)) == 1
+        assert tb.ceil_internal(Fraction(1, 3)) == 2
+        assert tb.floor_internal(Fraction(1, 2)) == 2
+        assert tb.ceil_internal(Fraction(1, 2)) == 2
+        assert tb.ceil_internal(Fraction(-1, 3)) == -1
+
+    def test_check_slot_length_converts_and_validates(self):
+        tb = TickLattice(4)
+        assert tb.check_slot_length(1, max_internal=8) == 4
+        assert tb.check_slot_length(Fraction(3, 2), max_internal=8) == 6
+        # Memoized second lookup returns the same ticks.
+        assert tb.check_slot_length(Fraction(3, 2), max_internal=8) == 6
+        with pytest.raises(ConfigurationError):
+            tb.check_slot_length(Fraction(3, 2), max_internal=5)
+        with pytest.raises(OffLatticeError):
+            tb.check_slot_length(Fraction(1, 3), max_internal=8)
+
+    def test_memo_is_exempt_from_range_but_not_validity(self):
+        # The same length must pass one R bound and fail a tighter one
+        # even after being memoized by the first call.
+        tb = TickLattice(2)
+        assert tb.check_slot_length(Fraction(2), max_internal=4) == 4
+        with pytest.raises(ConfigurationError):
+            tb.check_slot_length(Fraction(2), max_internal=3)
+
+    def test_bad_denominator_rejected(self):
+        for bad in (0, -1, True, Fraction(2)):
+            with pytest.raises(ConfigurationError):
+                TickLattice(bad)
+
+    def test_fraction_timebase_is_identity(self):
+        tb = FRACTION_TIMEBASE
+        assert tb.is_lattice is False
+        t = Fraction(7, 3)
+        assert tb.to_internal(t) == t
+        assert tb.to_public(t) == t
+        assert tb.ceil_internal(t) == t
+
+
+class TestDeclaredLatticeDenominator:
+    def test_missing_method_means_none(self):
+        class Bare:
+            pass
+
+        assert declared_lattice_denominator(Bare()) is None
+
+    def test_declared_value_passes_through(self):
+        class Declares:
+            def lattice_denominator(self):
+                return 6
+
+        assert declared_lattice_denominator(Declares()) == 6
+
+    def test_invalid_declaration_rejected(self):
+        class Lies:
+            def lattice_denominator(self):
+                return "six"
+
+        with pytest.raises(ConfigurationError):
+            declared_lattice_denominator(Lies())
