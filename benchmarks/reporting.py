@@ -69,13 +69,23 @@ def bench_cache():
 
 def grid_meta(report) -> Dict[str, Any]:
     """The standard ``meta`` block for a :class:`GridReport`-backed bench."""
-    return {
+    meta = {
         "wall_s": round(report.wall_s, 3),
         "jobs": report.jobs,
         "mode": report.mode,
         "cache_hits": report.cache_hits,
         "cache_misses": report.cache_misses,
     }
+    health = getattr(report, "health", None)
+    if health is not None:
+        meta["health"] = health.as_dict()
+    journal_hits = getattr(report, "journal_hits", 0)
+    if journal_hits:
+        meta["journal_hits"] = journal_hits
+    failures = getattr(report, "failures", ())
+    if failures:
+        meta["failed_cells"] = [f.name for f in failures]
+    return meta
 
 
 class _TableBlock:

@@ -19,9 +19,11 @@ from .bounds import (
     thm4_minimum_start_slot,
 )
 from .experiments import (
+    CellFailure,
     CellResult,
     ExperimentCell,
     GridReport,
+    grid_key,
     run_cell,
     run_grid,
     run_grid_report,
@@ -42,6 +44,7 @@ from .stability import (
 )
 
 __all__ = [
+    "CellFailure",
     "CellResult",
     "ElectionRecord",
     "ExperimentCell",
@@ -77,6 +80,7 @@ __all__ = [
     "ca_queue_bound_L",
     "collect_metrics",
     "estimate_msr",
+    "grid_key",
     "latency_by_station",
     "mbtf_queue_bound",
     "percentile",

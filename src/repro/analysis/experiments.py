@@ -42,6 +42,7 @@ import functools
 import time
 from dataclasses import dataclass, field
 from fractions import Fraction
+from pathlib import Path
 from typing import (
     Any,
     Callable,
@@ -56,8 +57,16 @@ from ..core.simulator import Simulator
 from ..core.station import StationAlgorithm
 from ..core.timebase import TimeLike, as_time
 from ..core.trace import Trace
-from ..exec.cache import MISS, ResultCache, UncacheableValue
+from ..exec.cache import (
+    MISS,
+    ResultCache,
+    UncacheableValue,
+    canonical_key,
+    code_salt,
+    fingerprint,
+)
 from ..exec.pool import run_tasks
+from ..exec.resilience import GridJournal, RunHealth, TaskError
 from ..obs.profiling import ProgressReporter
 from .metrics import RunMetrics, collect_metrics
 from .stability import assess_stability
@@ -240,6 +249,21 @@ def _cell_payload(cell: ExperimentCell, backlog_stride: int) -> Dict[str, Any]:
     }
 
 
+@dataclass(frozen=True, slots=True)
+class CellFailure:
+    """One grid cell that exhausted its retry budget."""
+
+    index: int
+    name: str
+    error: TaskError
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: [{self.error.kind}] {self.error.error_type}: "
+            f"{self.error.message} (after {self.error.attempts} attempt(s))"
+        )
+
+
 @dataclass(slots=True)
 class GridReport:
     """Results of one grid run plus how they were obtained.
@@ -247,7 +271,10 @@ class GridReport:
     ``worker_metrics`` maps worker pid to the list of per-cell
     :meth:`repro.obs.SimulationMetrics.snapshot` dicts that worker
     produced (empty unless ``collect_metrics=True``; cache hits carry
-    no snapshot — nothing executed).
+    no snapshot — nothing executed).  ``journal_hits`` counts cells
+    restored from a resume journal (never re-executed); ``failures``
+    names every cell that failed for good; ``health`` is the
+    engine's resilience ledger for the run.
     """
 
     results: List[CellResult]
@@ -257,6 +284,9 @@ class GridReport:
     cache_hits: int = 0
     cache_misses: int = 0
     worker_metrics: Dict[int, List[Dict[str, Any]]] = field(default_factory=dict)
+    journal_hits: int = 0
+    failures: List[CellFailure] = field(default_factory=list)
+    health: RunHealth = field(default_factory=RunHealth)
 
     def aggregate_counter(self, name: str) -> int:
         """Sum one integer instrument across every worker snapshot."""
@@ -269,6 +299,25 @@ class GridReport:
         return total
 
 
+def grid_key(cells: Sequence[ExperimentCell], backlog_stride: int) -> str:
+    """Content identity of a whole grid — what a resume journal binds to.
+
+    Folds in the code salt, so a journal written by different sources
+    (whose results could differ) is never resumed from.  Cells whose
+    configuration cannot be fingerprinted degrade to (index, name,
+    labels) identity — weaker, but still catches shape changes.
+    """
+    parts: List[Any] = []
+    for index, cell in enumerate(cells):
+        try:
+            parts.append(fingerprint(_cell_payload(cell, backlog_stride)))
+        except (UncacheableValue, RecursionError):
+            parts.append(
+                {"index": index, "name": cell.name, "labels": cell.labels}
+            )
+    return canonical_key({"grid": parts}, salt=code_salt())
+
+
 def run_grid_report(
     cells: Sequence[ExperimentCell],
     backlog_stride: int = 8,
@@ -277,12 +326,25 @@ def run_grid_report(
     cache: Optional[ResultCache] = None,
     progress: Optional[ProgressReporter] = None,
     collect_metrics: bool = False,
+    task_timeout: Optional[float] = None,
+    retries: int = 0,
+    journal: "Optional[GridJournal | str]" = None,
+    resume: bool = False,
 ) -> GridReport:
     """Run a grid and report results plus execution/caching facts.
 
     The engine behind :func:`run_grid`; use this form when you want
     wall time, cache hit counts, or per-worker metrics alongside the
     results.  Results are always in cell order, whatever ``jobs`` is.
+
+    Fault tolerance: ``task_timeout``/``retries`` bound each cell's
+    attempts (see :func:`repro.exec.run_tasks`); a cell that fails for
+    good lands in ``report.failures`` by name instead of aborting its
+    siblings.  ``journal`` checkpoints every completed cell to an
+    append-only JSONL file as it finishes; with ``resume=True`` the
+    journal's recorded cells are restored and only missing ones are
+    recomputed — :class:`~repro.exec.JournalMismatch` is raised if the
+    journal belongs to a different grid.
     """
     cells = list(cells)
     started = time.perf_counter()
@@ -290,7 +352,22 @@ def run_grid_report(
     keys: List[Optional[str]] = [None] * len(cells)
     pending: List[int] = []
     hits = 0
+    journal_hits = 0
+
+    if isinstance(journal, (str, Path)):
+        journal = GridJournal(journal)
+    recorded: Dict[int, Any] = {}
+    if journal is not None:
+        recorded = journal.start(
+            grid_key(cells, backlog_stride), len(cells), resume=resume
+        )
+
     for index, cell in enumerate(cells):
+        value = recorded.get(index)
+        if isinstance(value, CellResult):
+            results[index] = value
+            journal_hits += 1
+            continue
         if cache is not None:
             try:
                 keys[index] = cache.key_for(_cell_payload(cell, backlog_stride))
@@ -301,6 +378,8 @@ def run_grid_report(
                 if value is not MISS:
                     results[index] = value
                     hits += 1
+                    if journal is not None:
+                        journal.record(index, cell.name, value)
                     continue
         pending.append(index)
 
@@ -308,15 +387,46 @@ def run_grid_report(
         functools.partial(_execute_cell, cells[index], backlog_stride, collect_metrics)
         for index in pending
     ]
-    run = run_tasks(tasks, jobs=jobs, progress=progress, label="cells")
+
+    def checkpoint(slot: int, value: Any) -> None:
+        """Persist each finished cell the moment it lands (crash-safe)."""
+        if isinstance(value, TaskError):
+            return
+        index = pending[slot]
+        result = value[0]
+        if cache is not None and keys[index] is not None:
+            cache.put(keys[index], result)
+        if journal is not None:
+            journal.record(index, cells[index].name, result)
+
+    try:
+        run = run_tasks(
+            tasks,
+            jobs=jobs,
+            progress=progress,
+            label="cells",
+            task_timeout=task_timeout,
+            retries=retries,
+            on_error="capture",
+            on_result=checkpoint,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+
     worker_metrics: Dict[int, List[Dict[str, Any]]] = {}
+    failures: List[CellFailure] = []
     for slot, index in enumerate(pending):
-        result, snapshot = run.values[slot]
+        value = run.values[slot]
+        if isinstance(value, TaskError):
+            failures.append(
+                CellFailure(index=index, name=cells[index].name, error=value)
+            )
+            continue
+        result, snapshot = value
         results[index] = result
         if snapshot is not None:
             worker_metrics.setdefault(run.task_workers[slot], []).append(snapshot)
-        if cache is not None and keys[index] is not None:
-            cache.put(keys[index], result)
     return GridReport(
         results=[result for result in results if result is not None],
         jobs=run.jobs,
@@ -325,6 +435,9 @@ def run_grid_report(
         cache_hits=hits,
         cache_misses=len(pending) if cache is not None else 0,
         worker_metrics=worker_metrics,
+        journal_hits=journal_hits,
+        failures=failures,
+        health=run.health,
     )
 
 
@@ -335,6 +448,10 @@ def run_grid(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     progress: Optional[ProgressReporter] = None,
+    task_timeout: Optional[float] = None,
+    retries: int = 0,
+    journal: "Optional[GridJournal | str]" = None,
+    resume: bool = False,
 ) -> List[CellResult]:
     """Run every cell; results in cell order (deterministic runs).
 
@@ -343,15 +460,33 @@ def run_grid(
     ``jobs`` fans the grid out on the :mod:`repro.exec` process pool —
     bit-identical results, less wall time.  ``cache`` memoizes
     completed cells content-addressed by their configuration.
+    ``task_timeout``/``retries``/``journal``/``resume`` are forwarded
+    to :func:`run_grid_report`; unlike the report form, this list form
+    raises if any cell still failed after its retries — a shorter
+    result list must never pass silently.
 
     >>> [r.name for r in run_grid([_demo_cell()])]
     ['demo']
     >>> run_grid([_demo_cell()], backlog_stride=4) == [run_cell(_demo_cell(), 4)]
     True
     """
-    return run_grid_report(
-        cells, backlog_stride, jobs=jobs, cache=cache, progress=progress
-    ).results
+    report = run_grid_report(
+        cells,
+        backlog_stride,
+        jobs=jobs,
+        cache=cache,
+        progress=progress,
+        task_timeout=task_timeout,
+        retries=retries,
+        journal=journal,
+        resume=resume,
+    )
+    if report.failures:
+        detail = "; ".join(f.summary() for f in report.failures)
+        raise RuntimeError(
+            f"grid: {len(report.failures)} cell(s) failed: {detail}"
+        )
+    return report.results
 
 
 def write_csv(results: Iterable[CellResult], path: str) -> None:

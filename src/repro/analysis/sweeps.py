@@ -17,13 +17,14 @@ from __future__ import annotations
 
 import functools
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from ..core.errors import ConfigurationError
 from ..exec.cache import MISS, ResultCache, UncacheableValue
 from ..exec.pool import run_tasks
+from ..exec.resilience import RunHealth
 from ..obs.profiling import ProgressReporter
 
 Number = Union[int, Fraction]
@@ -96,6 +97,7 @@ class SweepReport:
     wall_s: float
     cache_hits: int = 0
     cache_misses: int = 0
+    health: RunHealth = field(default_factory=RunHealth)
 
 
 def sweep_seeds_report(
@@ -105,8 +107,14 @@ def sweep_seeds_report(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     progress: Optional[ProgressReporter] = None,
+    task_timeout: Optional[float] = None,
+    retries: int = 0,
 ) -> SweepReport:
-    """Like :func:`sweep_seeds` but also reports execution facts."""
+    """Like :func:`sweep_seeds` but also reports execution facts.
+
+    ``task_timeout`` and ``retries`` bound each seed's attempts — see
+    :func:`repro.exec.run_tasks` for the exact semantics.
+    """
     seeds = list(seeds)
     if not seeds:
         raise ConfigurationError("need at least one seed")
@@ -137,7 +145,14 @@ def sweep_seeds_report(
     tasks = [
         functools.partial(_measure_one, measure, seeds[index]) for index in pending
     ]
-    run = run_tasks(tasks, jobs=jobs, progress=progress, label="seeds")
+    run = run_tasks(
+        tasks,
+        jobs=jobs,
+        progress=progress,
+        label="seeds",
+        task_timeout=task_timeout,
+        retries=retries,
+    )
     for slot, index in enumerate(pending):
         samples[index] = run.values[slot]
         if cache is not None and keys[index] is not None:
@@ -149,6 +164,7 @@ def sweep_seeds_report(
         wall_s=time.perf_counter() - started,
         cache_hits=hits,
         cache_misses=len(pending) if cache is not None else 0,
+        health=run.health,
     )
 
 
@@ -159,17 +175,26 @@ def sweep_seeds(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     progress: Optional[ProgressReporter] = None,
+    task_timeout: Optional[float] = None,
+    retries: int = 0,
 ) -> SweepStats:
     """Run ``measure(seed)`` over ``seeds``; aggregate the results.
 
     ``jobs`` fans the sweep out over worker processes (bit-identical
     samples, submission order preserved); ``cache`` memoizes per-seed
-    samples keyed by the measurement function's content and the seed.
+    samples keyed by the measurement function's content and the seed;
+    ``task_timeout``/``retries`` bound each seed's attempts.
 
     >>> stats = sweep_seeds(lambda seed: seed * 2, range(1, 6))
     >>> (stats.count, stats.mean, stats.minimum, stats.maximum)
     (5, Fraction(6, 1), Fraction(2, 1), Fraction(10, 1))
     """
     return sweep_seeds_report(
-        measure, seeds, jobs=jobs, cache=cache, progress=progress
+        measure,
+        seeds,
+        jobs=jobs,
+        cache=cache,
+        progress=progress,
+        task_timeout=task_timeout,
+        retries=retries,
     ).stats

@@ -14,7 +14,10 @@ The subcommands cover the repository's surface:
 * ``grid``      — an algorithm x rho experiment grid on the
                   :mod:`repro.exec` process pool (``--jobs``), with
                   content-addressed result caching (``--no-cache`` to
-                  bypass) and CSV export;
+                  bypass), CSV export, and fault tolerance: per-cell
+                  ``--task-timeout`` and ``--retries``, plus a
+                  ``--journal`` checkpoint so an interrupted run
+                  ``--resume``\\ s recomputing only missing cells;
 * ``scenario``  — the declarative layer itself: ``list`` registries and
                   bundled specs, ``validate`` spec files, ``run`` a
                   spec file (or replay a JSONL artifact's embedded spec);
@@ -28,7 +31,9 @@ The subcommands cover the repository's surface:
 * ``bench``     — benchmark artifact tooling (``bench diff`` compares
                   two ``benchmarks/results`` directories and exits
                   nonzero on any value drift);
-* ``cache``     — inspect or clear the ``.repro-cache`` result cache.
+* ``cache``     — inspect, clear, or ``verify`` (re-hash and
+                  quarantine corrupt entries) the ``.repro-cache``
+                  result cache.
 
 Examples::
 
@@ -50,6 +55,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -265,7 +271,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _cmd_grid(args: argparse.Namespace) -> int:
     from .analysis import ExperimentCell, run_grid_report, write_csv
-    from .exec import ResultCache
+    from .exec import JournalMismatch, ResultCache
 
     algorithms = [name.strip() for name in args.algorithms.split(",") if name.strip()]
     rhos = [rho.strip() for rho in args.rhos.split(",") if rho.strip()]
@@ -294,13 +300,25 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     progress = None
     if args.progress:
         progress = ProgressReporter(every_events=1, min_interval_s=1.0)
-    report = run_grid_report(
-        cells,
-        backlog_stride=args.backlog_stride,
-        jobs=args.jobs,
-        cache=cache,
-        progress=progress,
-    )
+    journal = args.journal
+    if journal is None and args.resume:
+        # --resume with no explicit path uses the cache-adjacent default
+        # the previous (journalled) run would have written.
+        journal = os.path.join(args.cache_dir, "grid-journal.jsonl")
+    try:
+        report = run_grid_report(
+            cells,
+            backlog_stride=args.backlog_stride,
+            jobs=args.jobs,
+            cache=cache,
+            progress=progress,
+            task_timeout=args.task_timeout,
+            retries=args.retries,
+            journal=journal,
+            resume=args.resume,
+        )
+    except JournalMismatch as exc:
+        raise SystemExit(str(exc))
     header = (
         f"{'name':<24} {'stable':<8} {'delivered':>9} {'backlog':>7} "
         f"{'peak':>5} {'coll':>5} {'thr':>7}"
@@ -325,9 +343,21 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         f"grid: {len(report.results)} cells in {report.wall_s:.2f}s "
         f"jobs={report.jobs} mode={report.mode} | {cache_note}"
     )
+    if journal is not None:
+        journal_note = f"journal: {journal}"
+        if report.journal_hits:
+            journal_note += f" ({report.journal_hits} cells resumed)"
+        print(journal_note)
+    if report.health.disturbed:
+        print(f"health: {report.health.render()}")
     if args.csv:
         write_csv(report.results, args.csv)
         print(f"csv:  {args.csv}")
+    if report.failures:
+        print(f"FAILED cells ({len(report.failures)}):", file=sys.stderr)
+        for failure in report.failures:
+            print(f"  {failure.summary()}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -464,6 +494,15 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         dropped = cache.clear()
         print(f"cleared {dropped} cached results from {cache.root}")
         return 0
+    if args.cache_command == "verify":
+        verification = cache.verify()
+        print(
+            f"verified {verification.checked} entries: {verification.ok} ok, "
+            f"{len(verification.quarantined)} quarantined"
+        )
+        for path in verification.quarantined:
+            print(f"  quarantined: {path}", file=sys.stderr)
+        return 0 if verification.clean else 1
     entries = list(cache.entries())
     print(f"root:    {cache.root}")
     print(f"entries: {len(entries)}")
@@ -671,6 +710,20 @@ def build_parser() -> argparse.ArgumentParser:
     grid_p.add_argument("--no-cache", action="store_true",
                         help="bypass the content-addressed result cache")
     grid_p.add_argument("--cache-dir", default=".repro-cache")
+    grid_p.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="kill any cell running longer than this "
+                             "(pool mode; killed cells count as retries)")
+    grid_p.add_argument("--retries", type=int, default=0,
+                        help="re-run a failed/crashed/timed-out cell up to "
+                             "N more times (deterministic backoff)")
+    grid_p.add_argument("--journal", metavar="PATH", default=None,
+                        help="checkpoint completed cells to this JSONL "
+                             "file as they finish")
+    grid_p.add_argument("--resume", action="store_true",
+                        help="restore completed cells from the journal and "
+                             "recompute only the missing ones "
+                             "(default journal: <cache-dir>/grid-journal.jsonl)")
     grid_p.add_argument("--csv", metavar="PATH", help="also write results as CSV")
     grid_p.add_argument("--progress", action="store_true",
                         help="report per-cell progress on stderr")
@@ -736,6 +789,7 @@ def build_parser() -> argparse.ArgumentParser:
     for name, blurb in (
         ("info", "entry count, size, code salt"),
         ("clear", "drop every cached result"),
+        ("verify", "re-hash every entry; quarantine corrupt ones"),
     ):
         cache_cmd = cache_sub.add_parser(name, help=blurb)
         cache_cmd.add_argument("--cache-dir", default=".repro-cache")
@@ -785,6 +839,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
+    except KeyboardInterrupt:
+        # Interrupted runs exit promptly but nonzero; any grid journal
+        # keeps its completed cells for a follow-up --resume.
+        print("interrupted", file=sys.stderr)
+        return 130
     except BrokenPipeError:
         # stdout closed early (e.g. piped into `head`) — not an error.
         try:

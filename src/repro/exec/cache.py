@@ -34,22 +34,41 @@ relevant) is keyed by that form instead of any bytecode walking.
 cells keep their cache keys across cosmetic edits to the closures and
 modules around them — and the key is identical whether the spec was
 built in Python or parsed from a ``scenarios/*.json`` file.
+
+Crash and concurrency hardening (see ``docs/robustness.md``): entries
+are written scratch-file-then-rename (atomic on POSIX) under a
+process-unique scratch name (pid + a monotonic counter — two
+processes can never collide the way the old ``id(self)`` naming
+could), writers serialize on an advisory ``fcntl`` file lock, and
+every entry carries its own SHA-256 digest so a torn write is
+*detected*, not deserialized: ``get`` treats it as a miss and drops
+it, and :meth:`ResultCache.verify` (``repro cache verify``) re-hashes
+every entry and quarantines the corrupt ones.
 """
 
 from __future__ import annotations
 
 import functools
 import hashlib
+import itertools
 import json
+import os
 import pickle
 import shutil
 import types
+from dataclasses import dataclass, field
 from fractions import Fraction
 from pathlib import Path
-from typing import Any, Dict, Iterator, Mapping, Optional
+from typing import Any, Dict, Iterator, List, Mapping, Optional
+
+try:  # Advisory inter-process locking is POSIX-only; degrade quietly.
+    import fcntl
+except ImportError:  # pragma: no cover - Windows
+    fcntl = None  # type: ignore[assignment]
 
 __all__ = [
     "MISS",
+    "CacheVerification",
     "ResultCache",
     "UncacheableValue",
     "canonical_key",
@@ -209,6 +228,75 @@ def code_salt() -> str:
     return _CODE_SALT
 
 
+#: Entry format marker; bumping it orphans (never mis-reads) old entries.
+_ENTRY_MAGIC = b"repro-cache-1 "
+
+#: Scratch files are unique per (process, put): pid + monotonic counter.
+_SCRATCH_COUNTER = itertools.count()
+
+
+def _encode_entry(value: Any) -> bytes:
+    """Self-verifying on-disk form: magic + SHA-256(payload) + payload."""
+    blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(blob).hexdigest().encode("ascii")
+    return _ENTRY_MAGIC + digest + b"\n" + blob
+
+
+def _decode_entry(data: bytes) -> Any:
+    """Inverse of :func:`_encode_entry`; raises ``ValueError`` on damage."""
+    if not data.startswith(_ENTRY_MAGIC):
+        raise ValueError("not a repro cache entry (bad magic)")
+    header, newline, blob = data.partition(b"\n")
+    if not newline:
+        raise ValueError("truncated cache entry (no payload)")
+    digest = header[len(_ENTRY_MAGIC):].decode("ascii", "replace")
+    if hashlib.sha256(blob).hexdigest() != digest:
+        raise ValueError("cache entry digest mismatch (torn write?)")
+    return pickle.loads(blob)
+
+
+class _CacheLock:
+    """Advisory inter-process lock on ``<root>/.lock`` (``fcntl.flock``).
+
+    Serializes writers (``put``/``clear``/``verify``) across
+    processes; readers stay lock-free — the write-then-rename protocol
+    plus per-entry digests already make reads safe.  On platforms
+    without ``fcntl`` the lock degrades to a no-op.
+    """
+
+    def __init__(self, root: Path) -> None:
+        self.path = root / ".lock"
+        self._handle = None
+
+    def __enter__(self) -> "_CacheLock":
+        if fcntl is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a+b")
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX)
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        if self._handle is not None:
+            try:
+                fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
+            finally:
+                self._handle.close()
+                self._handle = None
+
+
+@dataclass(slots=True)
+class CacheVerification:
+    """Outcome of one :meth:`ResultCache.verify` pass."""
+
+    checked: int = 0
+    ok: int = 0
+    quarantined: List[Path] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.quarantined
+
+
 class ResultCache:
     """Pickle-backed content-addressed store under one root directory.
 
@@ -240,12 +328,21 @@ class ResultCache:
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
 
+    def lock(self) -> _CacheLock:
+        """The cache's advisory inter-process writer lock."""
+        return _CacheLock(self.root)
+
     def get(self, key: str) -> Any:
-        """The cached value, or :data:`MISS`.  Corrupt entries = miss."""
+        """The cached value, or :data:`MISS`.  Corrupt entries = miss.
+
+        Corruption (torn write, digest mismatch, version skew) can
+        never surface as data: the entry's own SHA-256 is checked
+        before unpickling, and a damaged entry is dropped so the next
+        run recomputes and re-stores it.
+        """
         path = self.path_for(key)
         try:
-            with open(path, "rb") as handle:
-                value = pickle.load(handle)
+            value = _decode_entry(path.read_bytes())
         except FileNotFoundError:
             self.misses += 1
             return MISS
@@ -258,14 +355,26 @@ class ResultCache:
         return value
 
     def put(self, key: str, value: Any) -> None:
-        """Persist atomically (write-then-rename) under the key."""
+        """Persist atomically (write-then-rename) under the key.
+
+        The scratch name embeds this process's pid and a monotonic
+        counter, so concurrent writers (two grid runs sharing one
+        cache) can never scribble on each other's scratch file; the
+        advisory lock additionally serializes the writes themselves.
+        """
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        scratch = path.with_suffix(f".tmp.{id(self)}")
-        with open(scratch, "wb") as handle:
-            pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        scratch.replace(path)
+        with self.lock():
+            path.parent.mkdir(parents=True, exist_ok=True)
+            scratch = self._scratch_for(path)
+            scratch.write_bytes(_encode_entry(value))
+            scratch.replace(path)
         self.stores += 1
+
+    @staticmethod
+    def _scratch_for(path: Path) -> Path:
+        return path.with_suffix(
+            f".tmp.{os.getpid()}.{next(_SCRATCH_COUNTER)}"
+        )
 
     def invalidate(self, key: str) -> bool:
         """Drop one entry; True if it existed."""
@@ -276,15 +385,46 @@ class ResultCache:
 
     def clear(self) -> int:
         """Remove every entry; returns the number dropped."""
-        dropped = sum(1 for _ in self.entries())
-        if self.root.exists():
-            shutil.rmtree(self.root)
+        with self.lock():
+            dropped = sum(1 for _ in self.entries())
+            if self.root.exists():
+                shutil.rmtree(self.root)
         return dropped
+
+    def verify(self) -> CacheVerification:
+        """Re-hash every entry; quarantine the ones that fail.
+
+        Each entry's stored SHA-256 is recomputed over its payload and
+        the payload is test-unpickled.  Entries that fail either check
+        (torn writes, bit rot, format skew) are moved — not deleted —
+        to ``<root>/quarantine/`` with a ``.corrupt`` suffix, where
+        :meth:`entries` no longer sees them, so the evidence survives
+        while the cache returns to a provably-sound state.
+        """
+        report = CacheVerification()
+        with self.lock():
+            for path in list(self.entries()):
+                report.checked += 1
+                try:
+                    _decode_entry(path.read_bytes())
+                except Exception:
+                    quarantine = self.root / "quarantine"
+                    quarantine.mkdir(parents=True, exist_ok=True)
+                    target = quarantine / f"{path.name}.corrupt"
+                    path.replace(target)
+                    report.quarantined.append(target)
+                else:
+                    report.ok += 1
+        return report
 
     def entries(self) -> Iterator[Path]:
         """Every persisted entry file currently on disk."""
         if self.root.exists():
-            yield from sorted(self.root.glob("*/*.pkl"))
+            yield from sorted(
+                path
+                for path in self.root.glob("*/*.pkl")
+                if path.parent.name != "quarantine"
+            )
 
     def size_bytes(self) -> int:
         return sum(path.stat().st_size for path in self.entries())

@@ -1,0 +1,198 @@
+"""Deterministic fault injection for the exec engine's recovery paths.
+
+Testing crash tolerance with real crashes is the only honest way to do
+it, but real crashes must be *scheduled*, not random, or the test
+suite becomes the flaky thing it is guarding against.  This module
+injects three failure modes on a fixed per-task schedule:
+
+* ``crash`` — the worker process dies mid-task (``os._exit``), the
+  way an OOM kill or a segfaulting extension would take it down;
+* ``hang``  — the task stalls past any reasonable ``task_timeout``
+  before proceeding (a deadlocked or runaway cell);
+* ``raise`` — the task raises :class:`ChaosError` (an ordinary worker
+  exception).
+
+Determinism across *retries* needs shared state: a retried task runs
+in a fresh process, so "fail the first attempt, succeed on the
+second" is coordinated through a per-task attempt counter on disk
+(one ``O_APPEND`` byte per attempt — atomic, ordered, inherited by
+every fork).  Build wrapped tasks with :func:`chaos_tasks` (or wrap
+individual callables with :meth:`ChaosPlan.wrap`) and hand them to
+:func:`repro.exec.pool.run_tasks` exactly like the real ones.
+
+Safety: a ``crash`` only calls ``os._exit`` when it is running in a
+*forked child*.  In serial (or degraded-serial) execution the same
+schedule raises :class:`ChaosError` instead — injecting a real crash
+into the parent would take the test runner down with it.
+
+:class:`TruncatingCache` covers the third failure family from the
+issue: torn cache writes.  It is a :class:`~repro.exec.cache.ResultCache`
+that truncates scheduled stores mid-file, so tests can prove that
+``get`` quarantines-by-miss and ``repro cache verify`` quarantines
+explicitly, and that a re-run recomputes and re-stores the entry.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from .cache import ResultCache
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "ChaosError",
+    "ChaosEvent",
+    "ChaosPlan",
+    "TruncatingCache",
+    "chaos_tasks",
+]
+
+#: Exit status of an injected worker crash — distinctive on purpose,
+#: so a chaos-test failure log reads unambiguously.
+CRASH_EXIT_CODE = 87
+
+
+class ChaosError(RuntimeError):
+    """The exception an injected ``raise`` (or in-process crash) throws."""
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosEvent:
+    """Misbehave on task ``index`` for its first ``attempts`` attempts.
+
+    ``kind`` is ``"crash"``, ``"hang"`` or ``"raise"``.  With
+    ``attempts=1`` the first attempt fails and a retry succeeds; with
+    ``attempts`` at or beyond the retry budget the task fails for
+    good and must surface as a :class:`~repro.exec.TaskError`.
+    """
+
+    kind: str
+    index: int
+    attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("crash", "hang", "raise"):
+            raise ValueError(
+                f"unknown chaos kind {self.kind!r} (use crash | hang | raise)"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosPlan:
+    """A fixed schedule of :class:`ChaosEvent` injections.
+
+    ``hang_s`` is how long a ``hang`` stalls before letting the task
+    proceed — set it beyond the engine's ``task_timeout`` to exercise
+    the kill-and-retry path, or below it to model a slow-but-fine task.
+    """
+
+    events: Tuple[ChaosEvent, ...] = ()
+    hang_s: float = 30.0
+
+    def event_for(self, index: int) -> Optional[ChaosEvent]:
+        for event in self.events:
+            if event.index == index:
+                return event
+        return None
+
+    def wrap(
+        self,
+        index: int,
+        fn: Callable[[], Any],
+        state_dir: "str | Path",
+    ) -> Callable[[], Any]:
+        """One callable that misbehaves per this plan, then runs ``fn``."""
+        return functools.partial(
+            _chaos_body, fn, index, self, str(state_dir), os.getpid()
+        )
+
+
+def chaos_tasks(
+    tasks: Sequence[Callable[[], Any]],
+    plan: ChaosPlan,
+    state_dir: "str | Path",
+) -> List[Callable[[], Any]]:
+    """Wrap every task with the plan's scheduled misbehaviour.
+
+    ``state_dir`` holds the per-task attempt counters; use a fresh
+    (tmp) directory per run — reusing one replays a *later* point in
+    the schedule.
+    """
+    root = Path(state_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    return [plan.wrap(index, task, root) for index, task in enumerate(tasks)]
+
+
+def _attempt_number(state_dir: str, index: int) -> int:
+    """Bump and read the cross-process attempt counter (1-based)."""
+    path = os.path.join(state_dir, f"task-{index}.attempts")
+    fd = os.open(path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, b"x")
+        return os.fstat(fd).st_size
+    finally:
+        os.close(fd)
+
+
+def _chaos_body(
+    fn: Callable[[], Any],
+    index: int,
+    plan: ChaosPlan,
+    state_dir: str,
+    parent_pid: int,
+) -> Any:
+    os.makedirs(state_dir, exist_ok=True)
+    attempt = _attempt_number(state_dir, index)
+    event = plan.event_for(index)
+    if event is not None and attempt <= event.attempts:
+        if event.kind == "crash":
+            if os.getpid() != parent_pid:
+                os._exit(CRASH_EXIT_CODE)
+            # Serial execution: a real exit would kill the caller, so
+            # the schedule degrades to an ordinary raised failure.
+            raise ChaosError(
+                f"injected crash (in-process) on task {index} "
+                f"attempt {attempt}"
+            )
+        if event.kind == "raise":
+            raise ChaosError(
+                f"injected failure on task {index} attempt {attempt}"
+            )
+        time.sleep(plan.hang_s)  # kind == "hang": stall, then proceed
+    return fn()
+
+
+class TruncatingCache(ResultCache):
+    """A :class:`ResultCache` whose scheduled stores are torn mid-write.
+
+    ``truncate_stores`` names 1-based store ordinals: the Nth ``put``
+    on this instance writes normally and is then truncated to half its
+    bytes, simulating a writer killed mid-flush.  Reads and the
+    ``verify`` pass must treat such an entry as corrupt, never as data.
+    """
+
+    def __init__(
+        self,
+        root: "str | Path",
+        *,
+        truncate_stores: Iterable[int] = (),
+        salt: Optional[str] = None,
+    ) -> None:
+        super().__init__(root, salt=salt)
+        self.truncate_stores = frozenset(truncate_stores)
+        self.torn_keys: List[str] = []
+        self._store_ordinal = 0
+
+    def put(self, key: str, value: Any) -> None:
+        self._store_ordinal += 1
+        super().put(key, value)
+        if self._store_ordinal in self.truncate_stores:
+            path = self.path_for(key)
+            data = path.read_bytes()
+            path.write_bytes(data[: len(data) // 2])
+            self.torn_keys.append(key)

@@ -92,17 +92,25 @@ class RunManifest:
     git_commit: Optional[str] = None
     schema_version: int = SCHEMA_VERSION
     spec: Optional[Dict[str, Any]] = None
+    health: Optional[Dict[str, Any]] = None
 
     @classmethod
     def create(
-        cls, *, spec: Optional[Dict[str, Any]] = None, **config: Any
+        cls,
+        *,
+        spec: Optional[Dict[str, Any]] = None,
+        health: Optional[Dict[str, Any]] = None,
+        **config: Any,
     ) -> "RunManifest":
         """Build a manifest from run parameters, stamping code identity.
 
         Exact rationals in the config are serialized as fraction
         strings; everything else must already be JSON-representable.
         ``spec`` takes the scenario's canonical dict
-        (:meth:`~repro.scenarios.ScenarioSpec.canonical`).
+        (:meth:`~repro.scenarios.ScenarioSpec.canonical`); ``health``
+        takes an execution-resilience ledger
+        (:meth:`repro.exec.RunHealth.as_dict`) when the artifact came
+        out of a fault-tolerant engine run.
         """
         try:
             from .. import __version__ as version
@@ -118,6 +126,7 @@ class RunManifest:
             repro_version=version,
             git_commit=git_sha(),
             spec=spec,
+            health=health,
         )
 
     def to_record(self) -> Dict[str, Any]:
@@ -131,6 +140,8 @@ class RunManifest:
         }
         if self.spec is not None:
             record["spec"] = self.spec
+        if self.health is not None:
+            record["health"] = self.health
         return record
 
 
