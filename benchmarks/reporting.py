@@ -73,6 +73,7 @@ def grid_meta(report) -> Dict[str, Any]:
         "wall_s": round(report.wall_s, 3),
         "jobs": report.jobs,
         "mode": report.mode,
+        "cells": len(report.results),
         "cache_hits": report.cache_hits,
         "cache_misses": report.cache_misses,
     }
@@ -159,7 +160,38 @@ def emit(
     (RESULTS_DIR / f"{name}.json").write_text(
         json.dumps(document, indent=2, sort_keys=False) + "\n"
     )
+    _record_history(name, meta)
     return block
+
+
+def _record_history(name: str, meta: Optional[Dict[str, Any]]) -> None:
+    """Index this bench table in the run-history database (best-effort).
+
+    Rides the standard ``meta`` block: the :func:`grid_meta` fields map
+    straight onto history columns, anything else lands in ``extra``.
+    """
+    try:
+        from repro.obs.artifacts import git_sha
+        from repro.obs.history import record_completion
+    except ImportError:
+        return
+    meta = dict(meta or {})
+    health = meta.pop("health", None)
+    record_completion(
+        "bench",
+        name,
+        wall_s=meta.pop("wall_s", None),
+        jobs=meta.pop("jobs", None),
+        mode=meta.pop("mode", None),
+        cells=meta.pop("cells", 0) or 0,
+        cache_hits=meta.pop("cache_hits", 0) or 0,
+        cache_misses=meta.pop("cache_misses", 0) or 0,
+        journal_hits=meta.pop("journal_hits", 0) or 0,
+        health=health if isinstance(health, dict) else None,
+        git_sha=git_sha(),
+        artifact_path=str(RESULTS_DIR / f"{name}.json"),
+        extra=meta or None,
+    )
 
 
 def table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> List[str]:

@@ -67,7 +67,10 @@ from ..exec.cache import (
 )
 from ..exec.pool import run_tasks
 from ..exec.resilience import GridJournal, RunHealth, TaskError
-from ..obs.profiling import ProgressReporter
+from ..obs.artifacts import git_sha
+from ..obs.history import history_enabled, record_completion
+from ..obs.profiling import PhaseProfiler, ProgressReporter
+from ..obs.tracing import Span, Tracer, current_tracer
 from .metrics import RunMetrics, collect_metrics
 from .stability import assess_stability
 
@@ -174,10 +177,59 @@ def _demo_cell() -> ExperimentCell:
     )
 
 
+def emit_phase_spans(
+    tracer: Tracer, parent: Span, profiler: PhaseProfiler
+) -> None:
+    """Bridge a :class:`PhaseProfiler` into aggregate child spans.
+
+    The profiler holds per-phase *totals*, not intervals, so the spans
+    are laid out consecutively from the parent's start — they show
+    attribution (how the parent's wall clock divides across
+    adversary/channel/algorithm), not real timelines; each carries
+    ``aggregate=True`` so readers can tell.
+    """
+    cursor = parent.ts
+    for phase in sorted(profiler.seconds):
+        duration_us = int(profiler.seconds[phase] * 1e6)
+        tracer.add_span(
+            f"sim.{phase}",
+            ts=cursor,
+            dur=duration_us,
+            parent=parent.id,
+            calls=profiler.calls[phase],
+            aggregate=True,
+        )
+        cursor += duration_us
+
+
 def _execute_cell(
     cell: ExperimentCell, backlog_stride: int, with_metrics: bool
 ) -> "tuple[CellResult, Optional[Dict[str, Any]]]":
-    """Run one cell; optionally carry a worker-side metrics pack."""
+    """Run one cell; optionally carry a worker-side metrics pack.
+
+    With a tracer active the run is wrapped in a ``cell`` span and a
+    :class:`PhaseProfiler` is attached so the simulator's phase totals
+    become ``sim.*`` child spans.
+    """
+    tracer = current_tracer()
+    if tracer is None:
+        return _execute_cell_impl(cell, backlog_stride, with_metrics, None)
+    with tracer.span("cell", cell=cell.name) as span:
+        profiler = PhaseProfiler()
+        result, snapshot = _execute_cell_impl(
+            cell, backlog_stride, with_metrics, profiler
+        )
+        emit_phase_spans(tracer, span, profiler)
+        span.set(stable=result.stable, delivered=result.metrics.delivered)
+        return result, snapshot
+
+
+def _execute_cell_impl(
+    cell: ExperimentCell,
+    backlog_stride: int,
+    with_metrics: bool,
+    profiler: Optional[PhaseProfiler],
+) -> "tuple[CellResult, Optional[Dict[str, Any]]]":
     from ..obs import ProbeBus, SimulationMetrics
 
     bus = sim_metrics = None
@@ -193,6 +245,7 @@ def _execute_cell(
         arrival_source=cell.arrival_source(),
         trace=trace,
         probes=bus,
+        profiler=profiler,
     )
     horizon = as_time(cell.horizon)
     sim.run(until_time=horizon)
@@ -287,6 +340,10 @@ class GridReport:
     journal_hits: int = 0
     failures: List[CellFailure] = field(default_factory=list)
     health: RunHealth = field(default_factory=RunHealth)
+    #: Row id in the run-history index, when the run was recorded
+    #: (see :mod:`repro.obs.history`); callers use it to attach
+    #: artifact/trace paths learned after the fact.
+    history_id: Optional[int] = None
 
     def aggregate_counter(self, name: str) -> int:
         """Sum one integer instrument across every worker snapshot."""
@@ -318,6 +375,56 @@ def grid_key(cells: Sequence[ExperimentCell], backlog_stride: int) -> str:
     return canonical_key({"grid": parts}, salt=code_salt())
 
 
+def _grid_history_name(cells: Sequence[ExperimentCell]) -> str:
+    """A human-recognizable label for a grid's history row."""
+    if len(cells) == 1:
+        return cells[0].name
+    return f"{cells[0].name}..{cells[-1].name}"
+
+
+def _record_grid_history(
+    report: GridReport,
+    cells: Sequence[ExperimentCell],
+    backlog_stride: int,
+    cache: Optional[ResultCache],
+    history: "Optional[bool | str | Path]",
+) -> None:
+    """Auto-record one grid completion in the run-history index.
+
+    ``history=False`` disables recording; a path records there; the
+    default records next to the cache the grid used (or the default
+    database).  Never raises — see :func:`repro.obs.history.record_completion`.
+    """
+    if history is False or not cells or not history_enabled():
+        return
+    if isinstance(history, (str, Path)):
+        db_path: "Optional[str | Path]" = history
+    elif cache is not None:
+        db_path = Path(cache.root) / "history.db"
+    else:
+        db_path = None
+    try:
+        spec_hash: Optional[str] = grid_key(cells, backlog_stride)
+    except Exception:
+        spec_hash = None
+    report.history_id = record_completion(
+        "grid",
+        _grid_history_name(cells),
+        db_path=db_path,
+        status="failed" if report.failures else "ok",
+        cells=len(cells),
+        cache_hits=report.cache_hits,
+        cache_misses=report.cache_misses,
+        journal_hits=report.journal_hits,
+        wall_s=report.wall_s,
+        jobs=report.jobs,
+        mode=report.mode,
+        spec_hash=spec_hash,
+        git_sha=git_sha(),
+        health=report.health.as_dict(),
+    )
+
+
 def run_grid_report(
     cells: Sequence[ExperimentCell],
     backlog_stride: int = 8,
@@ -330,6 +437,7 @@ def run_grid_report(
     retries: int = 0,
     journal: "Optional[GridJournal | str]" = None,
     resume: bool = False,
+    history: "Optional[bool | str | Path]" = None,
 ) -> GridReport:
     """Run a grid and report results plus execution/caching facts.
 
@@ -345,8 +453,69 @@ def run_grid_report(
     journal's recorded cells are restored and only missing ones are
     recomputed — :class:`~repro.exec.JournalMismatch` is raised if the
     journal belongs to a different grid.
+
+    Every completion is recorded in the run-history index
+    (``repro history list``); ``history`` overrides where (a database
+    path) or whether (``False``) — see :mod:`repro.obs.history`.  With
+    a tracer active the whole run is additionally wrapped in a ``grid``
+    span.
     """
     cells = list(cells)
+    tracer = current_tracer()
+    if tracer is None:
+        report = _run_grid_report(
+            cells,
+            backlog_stride,
+            jobs=jobs,
+            cache=cache,
+            progress=progress,
+            collect_metrics=collect_metrics,
+            task_timeout=task_timeout,
+            retries=retries,
+            journal=journal,
+            resume=resume,
+        )
+    else:
+        with tracer.span(
+            "grid", cells=len(cells), backlog_stride=backlog_stride
+        ) as span:
+            report = _run_grid_report(
+                cells,
+                backlog_stride,
+                jobs=jobs,
+                cache=cache,
+                progress=progress,
+                collect_metrics=collect_metrics,
+                task_timeout=task_timeout,
+                retries=retries,
+                journal=journal,
+                resume=resume,
+            )
+            span.set(
+                mode=report.mode,
+                cache_hits=report.cache_hits,
+                cache_misses=report.cache_misses,
+                journal_hits=report.journal_hits,
+                failures=len(report.failures),
+            )
+    _record_grid_history(report, cells, backlog_stride, cache, history)
+    return report
+
+
+def _run_grid_report(
+    cells: List[ExperimentCell],
+    backlog_stride: int = 8,
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressReporter] = None,
+    collect_metrics: bool = False,
+    task_timeout: Optional[float] = None,
+    retries: int = 0,
+    journal: "Optional[GridJournal | str]" = None,
+    resume: bool = False,
+) -> GridReport:
+    """The engine behind :func:`run_grid_report` (which adds span+history)."""
     started = time.perf_counter()
     results: List[Optional[CellResult]] = [None] * len(cells)
     keys: List[Optional[str]] = [None] * len(cells)
@@ -452,6 +621,7 @@ def run_grid(
     retries: int = 0,
     journal: "Optional[GridJournal | str]" = None,
     resume: bool = False,
+    history: "Optional[bool | str | Path]" = None,
 ) -> List[CellResult]:
     """Run every cell; results in cell order (deterministic runs).
 
@@ -480,6 +650,7 @@ def run_grid(
         retries=retries,
         journal=journal,
         resume=resume,
+        history=history,
     )
     if report.failures:
         detail = "; ".join(f.summary() for f in report.failures)

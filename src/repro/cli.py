@@ -28,6 +28,12 @@ The subcommands cover the repository's surface:
 * ``bounds``    — print every closed-form bound for given parameters;
 * ``diagram``   — print the Fig. 3/5/6 automata as text or Graphviz DOT;
 * ``stats``     — summarize a saved JSONL run artifact;
+* ``trace``     — summarize a flight-recorder trace (``--trace`` on
+                  ``run``/``grid``/``bench perf`` records one:
+                  Perfetto-loadable Chrome trace-event JSON);
+* ``history``   — the persistent run-history index: ``list``, ``show``
+                  or ``query`` every recorded completion
+                  (``.repro-cache/history.db``);
 * ``bench``     — benchmark artifact tooling (``bench diff`` compares
                   two ``benchmarks/results`` directories and exits
                   nonzero on any value drift);
@@ -58,7 +64,9 @@ import argparse
 import os
 import pathlib
 import sys
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .algorithms import ABSLeaderElection, NaiveTDMA
 from .analysis import (
@@ -86,6 +94,12 @@ from .obs import (
     ProgressReporter,
     RunManifest,
     SimulationMetrics,
+    Tracer,
+    activate,
+    current_tracer,
+    deactivate,
+    git_sha,
+    record_completion,
     render_summary,
     summarize_run,
 )
@@ -178,6 +192,42 @@ def _spec_from_run_args(args: argparse.Namespace) -> ScenarioSpec:
     )
 
 
+@contextmanager
+def _tracing(path: Optional[str]) -> Iterator[Optional[Tracer]]:
+    """Activate the flight recorder around a command body.
+
+    With no path this is a no-op (tracing stays zero-cost off).  With
+    one, a :class:`Tracer` is active for the body and the Chrome trace
+    is exported — even when the body fails, so a crashed grid still
+    leaves its evidence behind.
+    """
+    if not path:
+        yield None
+        return
+    tracer = activate(Tracer())
+    try:
+        yield tracer
+    finally:
+        deactivate()
+        try:
+            target = tracer.export_chrome(path)
+        except OSError as exc:
+            raise SystemExit(f"cannot write trace {path!r}: {exc}") from None
+        print(f"trace: {target}")
+
+
+def _spec_hash(spec: ScenarioSpec) -> Optional[str]:
+    """A stable short hash of a spec's canonical form (history key)."""
+    import hashlib
+    import json
+
+    try:
+        canonical = json.dumps(spec.canonical(), sort_keys=True, default=str)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+    except Exception:
+        return None
+
+
 def _run_spec(spec: ScenarioSpec, args: argparse.Namespace) -> int:
     """Build, run and report one spec (shared by ``run`` / ``scenario run``)."""
     observing = args.metrics or args.emit_jsonl or args.progress
@@ -211,7 +261,10 @@ def _run_spec(spec: ScenarioSpec, args: argparse.Namespace) -> int:
             raise SystemExit(f"--progress must be >= 1, got {args.progress}")
         # The user picked the cadence explicitly; don't rate-limit it away.
         ProgressReporter(every_events=args.progress, min_interval_s=0.0).attach(bus)
-    profiler = PhaseProfiler() if args.profile else None
+    tracer = current_tracer()
+    # With the flight recorder on, always profile: the per-phase totals
+    # become the trace's sim.* spans (printed only under --profile).
+    profiler = PhaseProfiler() if (args.profile or tracer is not None) else None
 
     try:
         sim = spec.build(
@@ -220,10 +273,35 @@ def _run_spec(spec: ScenarioSpec, args: argparse.Namespace) -> int:
         )
     except ConfigurationError as exc:
         raise SystemExit(str(exc)) from None
+    started = time.perf_counter()
+    run_span = None
+    if tracer is not None:
+        run_span = tracer.begin(
+            "run", scenario=spec.name, algorithm=spec.algorithm
+        )
     sim.run(until_time=spec.horizon)
+    if run_span is not None:
+        if profiler is not None:
+            from .analysis.experiments import emit_phase_spans
+
+            emit_phase_spans(tracer, run_span, profiler)
+        tracer.end(run_span, horizon=str(spec.horizon))
+    wall_s = time.perf_counter() - started
     if writer is not None:
         writer.close(sim=sim)
     metrics = collect_metrics(sim)
+    record_completion(
+        "run",
+        spec.name,
+        wall_s=wall_s,
+        jobs=1,
+        mode="serial",
+        spec_hash=_spec_hash(spec),
+        git_sha=git_sha(),
+        artifact_path=args.emit_jsonl or None,
+        trace_path=getattr(args, "trace", None),
+        extra={"delivered": metrics.delivered, "backlog": metrics.backlog},
+    )
     print(f"algorithm={spec.algorithm} n={spec.n} R={spec.max_slot} "
           f"rho={spec.rho} schedule={spec.schedule_display()} "
           f"horizon={spec.horizon}")
@@ -238,7 +316,7 @@ def _run_spec(spec: ScenarioSpec, args: argparse.Namespace) -> int:
         print("metrics:")
         for line in sim_metrics.render():
             print(f"  {line}")
-    if profiler is not None:
+    if profiler is not None and args.profile:
         print("profile:")
         for line in profiler.render():
             print(f"  {line}")
@@ -248,7 +326,9 @@ def _run_spec(spec: ScenarioSpec, args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    return _run_spec(_spec_from_run_args(args), args)
+    spec = _spec_from_run_args(args)
+    with _tracing(args.trace):
+        return _run_spec(spec, args)
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -267,6 +347,90 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     for line in render_summary(stats):
         print(line)
     return 0
+
+
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from .obs import render_trace_summary, summarize_trace
+
+    try:
+        summary = summarize_trace(args.trace_file)
+    except OSError as exc:
+        raise SystemExit(f"cannot read {args.trace_file!r}: {exc}") from None
+    except ValueError as exc:
+        raise SystemExit(f"{args.trace_file!r}: {exc}") from None
+    for line in render_trace_summary(summary, top=args.top):
+        print(line)
+    return 0
+
+
+def _history_or_exit(args: argparse.Namespace) -> Any:
+    """The history index behind ``--db``, erroring on an explicit miss.
+
+    A *default* database that does not exist yet just means nothing
+    has been recorded — an empty listing, not an error.  An explicitly
+    named one that is missing is a user mistake and exits nonzero.
+    """
+    from .obs import RunHistory
+
+    if args.db is not None and not pathlib.Path(args.db).exists():
+        raise SystemExit(f"cannot read {args.db!r}: no such history database")
+    return RunHistory(args.db)
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    import sqlite3
+
+    from .obs.history import render_entries, render_entry
+
+    history = _history_or_exit(args)
+    try:
+        if args.history_command == "show":
+            entry = history.get(args.id)
+            if entry is None:
+                raise SystemExit(
+                    f"no history row with id {args.id} in {history.path}"
+                )
+            for line in render_entry(entry):
+                print(line)
+            return 0
+        if args.history_command == "query":
+            entries = history.query(
+                kind=args.kind,
+                name_like=args.name,
+                status=args.status,
+                since=args.since,
+                limit=args.limit,
+            )
+        else:
+            entries = history.list(limit=args.limit)
+    except sqlite3.Error as exc:
+        raise SystemExit(f"cannot read {history.path}: {exc}") from None
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read {history.path}: {exc}") from None
+    for line in render_entries(entries):
+        print(line)
+    return 0
+
+
+def _attach_grid_history(
+    report: Any, cache: Any, *, trace: Optional[str], csv: Optional[str]
+) -> None:
+    """Attach late-learned paths to the grid's history row (best-effort)."""
+    history_id = getattr(report, "history_id", None)
+    if history_id is None or not (trace or csv):
+        return
+    from .obs import RunHistory
+
+    db = pathlib.Path(cache.root) / "history.db" if cache is not None else None
+    updates: Dict[str, Any] = {}
+    if trace:
+        updates["trace_path"] = trace
+    if csv:
+        updates["artifact_path"] = csv
+    try:
+        RunHistory(db).update(history_id, **updates)
+    except Exception:
+        pass  # history is forensics, never a reason to fail the grid
 
 
 def _cmd_grid(args: argparse.Namespace) -> int:
@@ -306,19 +470,21 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         # the previous (journalled) run would have written.
         journal = os.path.join(args.cache_dir, "grid-journal.jsonl")
     try:
-        report = run_grid_report(
-            cells,
-            backlog_stride=args.backlog_stride,
-            jobs=args.jobs,
-            cache=cache,
-            progress=progress,
-            task_timeout=args.task_timeout,
-            retries=args.retries,
-            journal=journal,
-            resume=args.resume,
-        )
+        with _tracing(args.trace):
+            report = run_grid_report(
+                cells,
+                backlog_stride=args.backlog_stride,
+                jobs=args.jobs,
+                cache=cache,
+                progress=progress,
+                task_timeout=args.task_timeout,
+                retries=args.retries,
+                journal=journal,
+                resume=args.resume,
+            )
     except JournalMismatch as exc:
         raise SystemExit(str(exc))
+    _attach_grid_history(report, cache, trace=args.trace, csv=args.csv)
     header = (
         f"{'name':<24} {'stable':<8} {'delivered':>9} {'backlog':>7} "
         f"{'peak':>5} {'coll':>5} {'thr':>7}"
@@ -450,7 +616,8 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
             spec = spec.replace(**overrides)
         except ConfigurationError as exc:
             raise SystemExit(str(exc)) from None
-    return _run_spec(spec, args)
+    with _tracing(args.trace):
+        return _run_spec(spec, args)
 
 
 def _cmd_bench_diff(args: argparse.Namespace) -> int:
@@ -469,7 +636,8 @@ def _cmd_bench_perf(args: argparse.Namespace) -> int:
     from .exec.perf import render_report, run_perf, write_report
 
     try:
-        document = run_perf(quick=args.quick)
+        with _tracing(args.trace):
+            document = run_perf(quick=args.quick)
     except ConfigurationError as exc:
         raise SystemExit(str(exc)) from None
     for line in render_report(document):
@@ -480,9 +648,24 @@ def _cmd_bench_perf(args: argparse.Namespace) -> int:
     targets = [args.results_dir]
     if args.update_baseline:
         targets.append(args.baseline_dir)
+    primary_json = None
     for target in targets:
         json_path, txt_path = write_report(document, target)
+        if primary_json is None:
+            primary_json = json_path
         print(f"wrote {json_path} and {txt_path}")
+    record_completion(
+        "bench",
+        "perf_core",
+        wall_s=float(meta.get("wall_s") or 0) or None,
+        jobs=1,
+        mode="serial",
+        git_sha=git_sha(),
+        artifact_path=str(primary_json) if primary_json else None,
+        trace_path=args.trace,
+        extra={"geomean_speedup": meta.get("geomean_speedup"),
+               "quick": bool(args.quick)},
+    )
     return 0
 
 
@@ -673,6 +856,9 @@ def _obs_flags(parser: argparse.ArgumentParser) -> None:
                         help="internal time representation (observably "
                         "identical; 'auto' uses integer ticks when the "
                         "scenario declares a time lattice)")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="record a flight-recorder trace and export "
+                        "Chrome trace-event JSON (Perfetto-loadable)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -727,7 +913,51 @@ def build_parser() -> argparse.ArgumentParser:
     grid_p.add_argument("--csv", metavar="PATH", help="also write results as CSV")
     grid_p.add_argument("--progress", action="store_true",
                         help="report per-cell progress on stderr")
+    grid_p.add_argument("--trace", metavar="PATH", default=None,
+                        help="record a flight-recorder trace of the grid "
+                        "(pool dispatch, attempts, cache, per-cell sim "
+                        "phases) as Chrome trace-event JSON")
     grid_p.set_defaults(handler=_cmd_grid)
+
+    trace_p = sub.add_parser(
+        "trace", help="inspect a flight-recorder trace (--trace output)"
+    )
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+    tsum_p = trace_sub.add_parser(
+        "summarize",
+        help="per-span self-time totals and the retry/timeout timeline",
+    )
+    tsum_p.add_argument("trace_file", help="a --trace Chrome trace-event JSON")
+    tsum_p.add_argument("--top", type=int, default=12,
+                        help="span kinds to show in the self-time ranking")
+    tsum_p.set_defaults(handler=_cmd_trace_summarize)
+
+    history_p = sub.add_parser(
+        "history", help="the persistent run-history index (every completion)"
+    )
+    history_sub = history_p.add_subparsers(dest="history_command", required=True)
+    hlist_p = history_sub.add_parser("list", help="most recent runs first")
+    hshow_p = history_sub.add_parser("show", help="every recorded fact of one run")
+    hshow_p.add_argument("id", type=int, help="history row id (from list)")
+    hquery_p = history_sub.add_parser(
+        "query", help="filter by kind / name substring / status / date"
+    )
+    hquery_p.add_argument("--kind", default=None,
+                          help="run | grid | sweep | bench")
+    hquery_p.add_argument("--name", default=None,
+                          help="case-insensitive name substring")
+    hquery_p.add_argument("--status", default=None, help="ok | failed")
+    hquery_p.add_argument("--since", default=None, metavar="ISO",
+                          help="ISO date(time) prefix, e.g. 2026-08")
+    for history_cmd in (hlist_p, hshow_p, hquery_p):
+        history_cmd.add_argument(
+            "--db", default=None,
+            help="history database path (default: .repro-cache/history.db, "
+            "or $REPRO_HISTORY_DB)")
+        history_cmd.set_defaults(handler=_cmd_history)
+    for history_cmd in (hlist_p, hquery_p):
+        history_cmd.add_argument("--limit", type=int, default=20,
+                                 help="rows to show")
 
     scenario_p = sub.add_parser(
         "scenario", help="declarative scenarios: list, validate, run"
@@ -782,6 +1012,8 @@ def build_parser() -> argparse.ArgumentParser:
                          "(regenerate with --quick so CI row counts match)")
     bperf_p.add_argument("--baseline-dir", default="benchmarks/baselines",
                          help="baseline directory for --update-baseline")
+    bperf_p.add_argument("--trace", metavar="PATH", default=None,
+                         help="record a flight-recorder trace of the suite")
     bperf_p.set_defaults(handler=_cmd_bench_perf)
 
     cache_p = sub.add_parser("cache", help="inspect or clear the result cache")

@@ -66,6 +66,8 @@ try:  # Advisory inter-process locking is POSIX-only; degrade quietly.
 except ImportError:  # pragma: no cover - Windows
     fcntl = None  # type: ignore[assignment]
 
+from ..obs.tracing import current_tracer
+
 __all__ = [
     "MISS",
     "CacheVerification",
@@ -340,6 +342,15 @@ class ResultCache:
         before unpickling, and a damaged entry is dropped so the next
         run recomputes and re-stores it.
         """
+        tracer = current_tracer()
+        if tracer is None:
+            return self._get(key)
+        with tracer.span("cache.get", key=key[:16]) as span:
+            value = self._get(key)
+            span.set(outcome="miss" if value is MISS else "hit")
+            return value
+
+    def _get(self, key: str) -> Any:
         path = self.path_for(key)
         try:
             value = _decode_entry(path.read_bytes())
@@ -362,6 +373,14 @@ class ResultCache:
         cache) can never scribble on each other's scratch file; the
         advisory lock additionally serializes the writes themselves.
         """
+        tracer = current_tracer()
+        if tracer is None:
+            self._put(key, value)
+            return
+        with tracer.span("cache.store", key=key[:16]):
+            self._put(key, value)
+
+    def _put(self, key: str, value: Any) -> None:
         path = self.path_for(key)
         with self.lock():
             path.parent.mkdir(parents=True, exist_ok=True)

@@ -74,6 +74,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..obs.profiling import ProgressReporter
+from ..obs.tracing import current_tracer
 from .resilience import RunHealth, TaskError, backoff_delay
 
 #: Task list the forked workers inherit; only indices cross the pipe.
@@ -114,6 +115,7 @@ def _portable_error(exc: BaseException) -> Tuple[Any, str, str, str]:
 def _worker_loop(conn) -> None:
     """Child body: execute dispatched task indices until told to stop."""
     assert _FORK_TASKS is not None, "worker forked without a task list"
+    tracer = current_tracer()  # inherited through fork; usually None
     while True:
         try:
             message = conn.recv()
@@ -122,10 +124,23 @@ def _worker_loop(conn) -> None:
         if message is None:
             return
         index = message
+        span = (
+            tracer.begin("task", tid=index, task=index)
+            if tracer is not None
+            else None
+        )
         try:
             reply = ("ok", index, os.getpid(), _FORK_TASKS[index]())
         except BaseException as exc:
             reply = ("err", index, os.getpid(), _portable_error(exc))
+            if span is not None:
+                span.set(outcome="error")
+        if span is not None:
+            span.args.setdefault("outcome", "ok")
+            tracer.end(span)
+            # Spool before replying: once the parent has the result it
+            # may kill this worker at any moment (timeout, teardown).
+            tracer.flush()
         try:
             conn.send(reply)
         except Exception as exc:
@@ -136,10 +151,14 @@ def _worker_loop(conn) -> None:
 class _Worker:
     """Parent-side handle for one forked worker process."""
 
-    __slots__ = ("process", "conn", "index", "attempt", "deadline")
+    __slots__ = (
+        "process", "conn", "index", "attempt", "deadline",
+        "dispatch_ts", "spawn_ts", "ordinal",
+    )
 
     def __init__(self, context) -> None:
         parent_conn, child_conn = multiprocessing.Pipe()
+        self.spawn_ts = time.perf_counter_ns() // 1000
         self.process = context.Process(
             target=_worker_loop, args=(child_conn,), daemon=True
         )
@@ -149,6 +168,8 @@ class _Worker:
         self.index: Optional[int] = None
         self.attempt = 0
         self.deadline: Optional[float] = None
+        self.dispatch_ts = 0
+        self.ordinal = 0
 
     @property
     def busy(self) -> bool:
@@ -157,6 +178,7 @@ class _Worker:
     def dispatch(
         self, index: int, attempt: int, task_timeout: Optional[float]
     ) -> None:
+        self.dispatch_ts = time.perf_counter_ns() // 1000
         self.conn.send(index)
         self.index = index
         self.attempt = attempt
@@ -248,7 +270,63 @@ def run_tasks(
     rate limiting applies unchanged.  ``on_result(index, value)``
     fires in the parent as each task settles (completion order, not
     submission order) — callers checkpoint through it.
+
+    When a tracer is active (see :mod:`repro.obs.tracing`) the whole
+    call is wrapped in a ``pool`` span and every attempt, dispatch and
+    worker lifetime is recorded; with tracing off the only cost is one
+    module-global ``None`` check.
     """
+    tracer = current_tracer()
+    if tracer is None:
+        return _run_tasks(
+            tasks,
+            jobs,
+            progress=progress,
+            label=label,
+            task_timeout=task_timeout,
+            retries=retries,
+            backoff_base=backoff_base,
+            on_error=on_error,
+            on_result=on_result,
+        )
+    with tracer.span("pool", label=label) as span:
+        run = _run_tasks(
+            tasks,
+            jobs,
+            progress=progress,
+            label=label,
+            task_timeout=task_timeout,
+            retries=retries,
+            backoff_base=backoff_base,
+            on_error=on_error,
+            on_result=on_result,
+        )
+        span.set(
+            tasks=len(run.values),
+            jobs=run.jobs,
+            mode=run.mode,
+            retries=run.health.retries,
+            timeouts=run.health.timeouts,
+            crashes=run.health.worker_crashes,
+            failures=run.health.failures,
+            degraded=run.health.degraded,
+        )
+        return run
+
+
+def _run_tasks(
+    tasks: Sequence[Callable[[], Any]],
+    jobs: int = 1,
+    *,
+    progress: Optional[ProgressReporter] = None,
+    label: str = "tasks",
+    task_timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff_base: float = DEFAULT_BACKOFF_S,
+    on_error: str = "raise",
+    on_result: Optional[Callable[[int, Any], None]] = None,
+) -> PoolRun:
+    """The engine behind :func:`run_tasks` (which adds the trace span)."""
     if on_error not in ("raise", "capture"):
         raise ValueError(
             f"on_error must be 'raise' or 'capture', got {on_error!r}"
@@ -263,10 +341,12 @@ def run_tasks(
     health = RunHealth()
 
     def describe(reporter: ProgressReporter) -> str:
-        return (
+        line = (
             f"[repro] {label} {reporter.events}/{total} done "
             f"rate={reporter.window_rate:.2f}/s"
         )
+        disturbances = health.brief()
+        return f"{line} | {disturbances}" if disturbances else line
 
     # Serial path: jobs=1, nothing to gain, no fork, or we *are* a
     # worker (nested run_tasks inside a task must not fork its own pool).
@@ -346,16 +426,29 @@ def _run_serial(
     """
     if values is None:
         values = [None] * len(tasks)
+    tracer = current_tracer()
     for index in indices:
         attempt = 1
         while True:
+            span = (
+                tracer.begin("attempt", tid=index, task=index, attempt=attempt)
+                if tracer is not None
+                else None
+            )
             try:
                 value: Any = tasks[index]()
+                if span is not None:
+                    tracer.end(span, outcome="ok", retried=False)
                 break
             except KeyboardInterrupt:
+                if span is not None:
+                    tracer.end(span, outcome="interrupted", retried=False)
                 raise
             except Exception as exc:
-                if attempt <= retries:
+                retrying = attempt <= retries
+                if span is not None:
+                    tracer.end(span, outcome="error", retried=retrying)
+                if retrying:
                     health.retries += 1
                     time.sleep(backoff_delay(backoff_base, attempt))
                     attempt += 1
@@ -406,6 +499,35 @@ def _run_pool(
     workers: List[_Worker] = []
     spawn_failures = 0
     need_respawn = 0
+    spawn_ordinal = 0
+    tracer = current_tracer()
+
+    def trace_attempt(index: int, attempt: int, ts: int,
+                      outcome: str, retried: bool) -> None:
+        """Parent-side attempt span, dispatch → settle (worker may be dead)."""
+        if tracer is not None and ts:
+            tracer.add_span(
+                "attempt",
+                ts=ts,
+                dur=tracer.now_us() - ts,
+                tid=index,
+                task=index,
+                attempt=attempt,
+                outcome=outcome,
+                retried=retried,
+            )
+
+    def trace_worker_end(worker: _Worker) -> None:
+        """Worker-lifetime span, drawn in the worker's own process lane."""
+        if tracer is not None and worker.process.pid is not None:
+            tracer.add_span(
+                "worker",
+                ts=worker.spawn_ts,
+                dur=tracer.now_us() - worker.spawn_ts,
+                pid=worker.process.pid,
+                tid=0,
+                ordinal=worker.ordinal,
+            )
 
     def settle(index: int, value: Any, pid: int) -> None:
         nonlocal completed
@@ -423,9 +545,11 @@ def _run_pool(
             progress.tick(describe)
 
     def failed(index: int, attempt: int, kind: str,
-               error: Tuple[Any, str, str, str]) -> None:
+               error: Tuple[Any, str, str, str],
+               dispatch_ts: int = 0) -> None:
         """A failed attempt: schedule a retry or settle the failure."""
         carried, type_name, message, tb_text = error
+        trace_attempt(index, attempt, dispatch_ts, kind, attempt <= retries)
         if attempt <= retries:
             health.retries += 1
             ready_at = time.monotonic() + backoff_delay(backoff_base, attempt)
@@ -454,17 +578,21 @@ def _run_pool(
 
     def retire(worker: _Worker, graceful: bool) -> None:
         nonlocal need_respawn
+        trace_worker_end(worker)
         workers.remove(worker)
         worker.stop(graceful)
         need_respawn += 1
 
     def handle_reply(worker: _Worker, reply) -> None:
         status, index, pid, payload = reply
+        dispatch_ts = worker.dispatch_ts
         worker.settle()
+        attempt = worker_attempts.pop(index, 1)
         if status == "ok":
+            trace_attempt(index, attempt, dispatch_ts, "ok", False)
             settle(index, payload, pid)
         else:
-            failed(index, worker_attempts.pop(index, 1), "error", payload)
+            failed(index, attempt, "error", payload, dispatch_ts)
 
     # Attempt numbers live parent-side (workers don't know them).
     worker_attempts: Dict[int, int] = {}
@@ -518,6 +646,12 @@ def _run_pool(
                     if need_respawn:
                         health.pool_respawns += 1
                         need_respawn -= 1
+                    spawn_ordinal += 1
+                    worker.ordinal = spawn_ordinal
+                    if tracer is not None and worker.process.pid is not None:
+                        tracer.worker_pids[worker.process.pid] = (
+                            f"worker-{worker.ordinal}"
+                        )
                     workers.append(worker)
                 index, attempt = todo.popleft()
                 worker_attempts[index] = attempt
@@ -528,6 +662,17 @@ def _run_pool(
                     health.worker_crashes += 1
                     todo.appendleft((index, attempt))
                     retire(worker, graceful=False)
+                else:
+                    if tracer is not None:
+                        tracer.add_span(
+                            "pool.dispatch",
+                            ts=worker.dispatch_ts,
+                            dur=tracer.now_us() - worker.dispatch_ts,
+                            tid=index,
+                            task=index,
+                            attempt=attempt,
+                            worker=worker.ordinal,
+                        )
 
             busy = [w for w in workers if w.busy]
             if not busy:
@@ -569,6 +714,7 @@ def _run_pool(
                             pass
                     health.worker_crashes += 1
                     index, attempt = worker.index, worker.attempt
+                    dispatch_ts = worker.dispatch_ts
                     # Reap before reading the exit code — the sentinel
                     # fires before the process object knows it.
                     worker.process.join(timeout=1.0)
@@ -582,6 +728,7 @@ def _run_pool(
                             "crash",
                             (None, "WorkerCrash",
                              f"worker exited with code {exitcode}", ""),
+                            dispatch_ts,
                         )
 
             if task_timeout is not None:
@@ -590,6 +737,7 @@ def _run_pool(
                     if worker.deadline is not None and now >= worker.deadline:
                         health.timeouts += 1
                         index, attempt = worker.index, worker.attempt
+                        dispatch_ts = worker.dispatch_ts
                         retire(worker, graceful=False)
                         worker_attempts.pop(index, None)
                         failed(
@@ -598,16 +746,19 @@ def _run_pool(
                             "timeout",
                             (None, "TaskTimeout",
                              f"exceeded task_timeout={task_timeout}s", ""),
+                            dispatch_ts,
                         )
     except BaseException:
         # KeyboardInterrupt or a task failure in raise mode: tear the
         # pool down *promptly* — kill, don't wait for running cells.
         for worker in workers:
+            trace_worker_end(worker)
             worker.stop(graceful=False)
         workers.clear()
         raise
     finally:
         for worker in workers:
+            trace_worker_end(worker)
             worker.stop(graceful=True)
     return values, task_workers, worker_counts
 

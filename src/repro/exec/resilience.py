@@ -36,6 +36,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from ..obs.tracing import current_tracer
+
 __all__ = [
     "GridJournal",
     "JournalMismatch",
@@ -106,6 +108,28 @@ class RunHealth:
             f"degraded={'yes' if self.degraded else 'no'} "
             f"failures={self.failures}"
         )
+
+    def brief(self) -> str:
+        """Only the nonzero counters, for live progress lines.
+
+        Empty string when the run is undisturbed, so progress output
+        stays byte-identical to the pre-health format in the common
+        case.
+        """
+        parts = []
+        if self.retries:
+            parts.append(f"retries={self.retries}")
+        if self.timeouts:
+            parts.append(f"timeouts={self.timeouts}")
+        if self.worker_crashes:
+            parts.append(f"crashes={self.worker_crashes}")
+        if self.pool_respawns:
+            parts.append(f"respawns={self.pool_respawns}")
+        if self.failures:
+            parts.append(f"failures={self.failures}")
+        if self.degraded:
+            parts.append("degraded")
+        return " ".join(parts)
 
 
 @dataclass(frozen=True, slots=True)
@@ -267,6 +291,14 @@ class GridJournal:
         self._append(index, name, result)
 
     def _append(self, index: int, name: str, result: Any) -> None:
+        tracer = current_tracer()
+        if tracer is None:
+            self._append_record(index, name, result)
+            return
+        with tracer.span("journal.append", index=index):
+            self._append_record(index, name, result)
+
+    def _append_record(self, index: int, name: str, result: Any) -> None:
         self._write_line(
             {
                 "index": index,

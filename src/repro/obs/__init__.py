@@ -16,6 +16,12 @@ independently usable:
 * :mod:`repro.obs.profiling` — :class:`PhaseProfiler` (wall time per
   simulator phase) and :class:`ProgressReporter` (periodic status lines
   for long stability runs).
+* :mod:`repro.obs.tracing` — the flight recorder: a :class:`Tracer`
+  of hierarchical spans across the fork boundary, exported as Chrome
+  trace-event JSON (Perfetto-loadable) behind ``--trace``.
+* :mod:`repro.obs.history` — the persistent run-history index
+  (:class:`RunHistory`, SQLite under ``.repro-cache/history.db``)
+  behind ``repro history list/show/query``.
 
 Quickstart::
 
@@ -58,7 +64,24 @@ from .probes import (
     SlotBeginEvent,
     SlotEndEvent,
 )
+from .history import (
+    HistoryEntry,
+    RunHistory,
+    default_db_path,
+    history_enabled,
+    record_completion,
+)
 from .profiling import PhaseProfiler, ProgressReporter
+from .tracing import (
+    Span,
+    Tracer,
+    activate,
+    current_tracer,
+    deactivate,
+    load_trace,
+    render_trace_summary,
+    summarize_trace,
+)
 
 __all__ = [
     "ArrivalEvent",
@@ -67,6 +90,7 @@ __all__ = [
     "DeliveryEvent",
     "FeedbackEvent",
     "Gauge",
+    "HistoryEntry",
     "Histogram",
     "JsonlRunWriter",
     "MetricsRegistry",
@@ -75,12 +99,24 @@ __all__ = [
     "ProbeBus",
     "ProgressReporter",
     "RunArtifact",
+    "RunHistory",
     "RunManifest",
     "SimulationMetrics",
     "SlotBeginEvent",
     "SlotEndEvent",
+    "Span",
+    "Tracer",
+    "activate",
+    "current_tracer",
+    "deactivate",
+    "default_db_path",
     "git_sha",
+    "history_enabled",
     "load_run",
+    "load_trace",
+    "record_completion",
     "render_summary",
+    "render_trace_summary",
     "summarize_run",
+    "summarize_trace",
 ]

@@ -52,9 +52,23 @@ def parse_time(text: Union[str, int]) -> Fraction:
     return Fraction(text)
 
 
+#: Per-process memo for :func:`git_sha` — the answer cannot change
+#: mid-run, and a 1000-cell grid creates a manifest per cell; without
+#: the memo that is a thousand ``git rev-parse`` subprocess forks.
+_GIT_SHA_CACHE: Dict[str, Optional[str]] = {}
+
+
 def git_sha(start: Optional[pathlib.Path] = None) -> Optional[str]:
-    """Current git commit of the source tree, best-effort (None off-repo)."""
+    """Current git commit of the source tree, best-effort (None off-repo).
+
+    Memoized per process (keyed by the lookup directory); forked
+    workers inherit the parent's memo, so a grid pays at most one
+    subprocess spawn total.
+    """
     cwd = start if start is not None else pathlib.Path(__file__).resolve().parent
+    memo_key = str(cwd)
+    if memo_key in _GIT_SHA_CACHE:
+        return _GIT_SHA_CACHE[memo_key]
     try:
         proc = subprocess.run(
             ["git", "rev-parse", "HEAD"],
@@ -64,10 +78,11 @@ def git_sha(start: Optional[pathlib.Path] = None) -> Optional[str]:
             timeout=5,
         )
     except (OSError, subprocess.TimeoutExpired):
+        _GIT_SHA_CACHE[memo_key] = None
         return None
-    if proc.returncode != 0:
-        return None
-    return proc.stdout.strip() or None
+    sha = (proc.stdout.strip() or None) if proc.returncode == 0 else None
+    _GIT_SHA_CACHE[memo_key] = sha
+    return sha
 
 
 def _action_name(action: Any) -> str:

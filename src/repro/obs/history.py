@@ -1,0 +1,461 @@
+"""Persistent run-history index: every completed run, queryable forever.
+
+The flight recorder's other half (see :mod:`repro.obs.tracing` for the
+in-flight spans): an SQLite database under ``.repro-cache/history.db``
+that records one row per completed execution — ``repro run``, every
+grid (:func:`repro.analysis.run_grid_report`), every seed sweep
+(:func:`repro.analysis.sweep_seeds_report`), and every benchmark table
+the harness emits.  Each row carries *what* ran (kind, name, spec
+hash), *how* it went (cell counts, cache hits, wall time, the
+:class:`~repro.exec.RunHealth` ledger, ok/failed status), *which code*
+ran it (git SHA), and *where the evidence lives* (artifact and trace
+paths).  The ``repro history list/show/query`` subcommands read it
+back; the schema is documented in ``docs/tracing.md``.
+
+Design constraints:
+
+* **Recording never breaks a run.**  Producers record through
+  :func:`record_completion`, which swallows every failure (read-only
+  filesystem, locked database, missing directory) and returns ``None``
+  instead.  History is forensics, not a dependency.
+* **Opt-out, not opt-in.**  Recording is automatic (the index is only
+  useful if it is complete) but honors ``REPRO_NO_HISTORY=1``; the
+  database path follows the result cache it sits next to and can be
+  pointed elsewhere with ``REPRO_HISTORY_DB``.
+* **Append-mostly.**  Rows are inserted at completion and touched
+  again only to attach artifact/trace paths the caller learns late
+  (:meth:`RunHistory.update`).  Nothing is ever deleted by the
+  recording path.
+
+SQLite keeps the index robust against concurrent writers (two grids
+sharing one cache directory) via its own locking; a 5-second busy
+timeout covers the burst when a parallel bench suite lands many rows
+at once — in the same spirit as dnf's history database.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sqlite3
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+__all__ = [
+    "HistoryEntry",
+    "RunHistory",
+    "default_db_path",
+    "history_enabled",
+    "record_completion",
+]
+
+#: History schema version, stored in SQLite's ``user_version`` pragma.
+HISTORY_SCHEMA_VERSION = 1
+
+#: Default database location — next to the result cache it indexes.
+DEFAULT_DB = ".repro-cache/history.db"
+
+_CREATE = """
+CREATE TABLE IF NOT EXISTS runs (
+    id            INTEGER PRIMARY KEY AUTOINCREMENT,
+    created_at    TEXT    NOT NULL,
+    kind          TEXT    NOT NULL,
+    name          TEXT    NOT NULL,
+    status        TEXT    NOT NULL DEFAULT 'ok',
+    cells         INTEGER NOT NULL DEFAULT 0,
+    cache_hits    INTEGER NOT NULL DEFAULT 0,
+    cache_misses  INTEGER NOT NULL DEFAULT 0,
+    journal_hits  INTEGER NOT NULL DEFAULT 0,
+    wall_s        REAL,
+    jobs          INTEGER,
+    mode          TEXT,
+    spec_hash     TEXT,
+    cache_key     TEXT,
+    git_sha       TEXT,
+    health        TEXT,
+    artifact_path TEXT,
+    trace_path    TEXT,
+    extra         TEXT
+);
+CREATE INDEX IF NOT EXISTS runs_kind ON runs (kind);
+CREATE INDEX IF NOT EXISTS runs_created ON runs (created_at);
+"""
+
+_COLUMNS = (
+    "created_at", "kind", "name", "status", "cells", "cache_hits",
+    "cache_misses", "journal_hits", "wall_s", "jobs", "mode",
+    "spec_hash", "cache_key", "git_sha", "health", "artifact_path",
+    "trace_path", "extra",
+)
+
+
+def default_db_path() -> str:
+    """Where history rows land unless a caller points elsewhere."""
+    return os.environ.get("REPRO_HISTORY_DB", "").strip() or DEFAULT_DB
+
+
+def history_enabled() -> bool:
+    """Automatic recording is on unless ``REPRO_NO_HISTORY`` is set."""
+    return not os.environ.get("REPRO_NO_HISTORY", "").strip()
+
+
+@dataclass(slots=True)
+class HistoryEntry:
+    """One recorded execution, as read back from the index."""
+
+    id: int
+    created_at: str
+    kind: str
+    name: str
+    status: str = "ok"
+    cells: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    journal_hits: int = 0
+    wall_s: Optional[float] = None
+    jobs: Optional[int] = None
+    mode: Optional[str] = None
+    spec_hash: Optional[str] = None
+    cache_key: Optional[str] = None
+    git_sha: Optional[str] = None
+    health: Dict[str, Any] = field(default_factory=dict)
+    artifact_path: Optional[str] = None
+    trace_path: Optional[str] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def served_from(self) -> str:
+        """How the results were obtained: ``cache``/``journal``/``exec``.
+
+        ``cache`` means every cell came out of the content-addressed
+        result cache (nothing executed); ``mixed`` means some did.
+        """
+        if self.cells and self.cache_hits >= self.cells:
+            return "cache"
+        if self.cells and self.journal_hits >= self.cells:
+            return "journal"
+        if self.cache_hits or self.journal_hits:
+            return "mixed"
+        return "exec"
+
+    def disturbed(self) -> bool:
+        """True when the health ledger recorded any recovery activity."""
+        return any(bool(v) for v in self.health.values())
+
+
+def _entry_from_row(row: sqlite3.Row) -> HistoryEntry:
+    def _json(text: Optional[str]) -> Dict[str, Any]:
+        if not text:
+            return {}
+        try:
+            value = json.loads(text)
+        except ValueError:
+            return {}
+        return value if isinstance(value, dict) else {}
+
+    return HistoryEntry(
+        id=row["id"],
+        created_at=row["created_at"],
+        kind=row["kind"],
+        name=row["name"],
+        status=row["status"],
+        cells=row["cells"],
+        cache_hits=row["cache_hits"],
+        cache_misses=row["cache_misses"],
+        journal_hits=row["journal_hits"],
+        wall_s=row["wall_s"],
+        jobs=row["jobs"],
+        mode=row["mode"],
+        spec_hash=row["spec_hash"],
+        cache_key=row["cache_key"],
+        git_sha=row["git_sha"],
+        health=_json(row["health"]),
+        artifact_path=row["artifact_path"],
+        trace_path=row["trace_path"],
+        extra=_json(row["extra"]),
+    )
+
+
+class RunHistory:
+    """The on-disk index: record at completion, query any time.
+
+    >>> import tempfile, os
+    >>> history = RunHistory(os.path.join(tempfile.mkdtemp(), "h.db"))
+    >>> run_id = history.record("grid", "demo", cells=4, cache_hits=4)
+    >>> entry = history.get(run_id)
+    >>> (entry.kind, entry.name, entry.served_from)
+    ('grid', 'demo', 'cache')
+    """
+
+    def __init__(self, path: Union[str, pathlib.Path, None] = None) -> None:
+        self.path = pathlib.Path(path if path is not None else default_db_path())
+
+    @contextmanager
+    def _connect(self, *, create: bool = True) -> Iterator[sqlite3.Connection]:
+        if create:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        connection = sqlite3.connect(str(self.path), timeout=5.0)
+        try:
+            connection.row_factory = sqlite3.Row
+            connection.execute("PRAGMA busy_timeout = 5000")
+            if create:
+                connection.executescript(_CREATE)
+                connection.execute(
+                    f"PRAGMA user_version = {HISTORY_SCHEMA_VERSION}"
+                )
+            yield connection
+            connection.commit()
+        finally:
+            connection.close()
+
+    # -- writing --------------------------------------------------------
+
+    def record(
+        self,
+        kind: str,
+        name: str,
+        *,
+        status: str = "ok",
+        cells: int = 0,
+        cache_hits: int = 0,
+        cache_misses: int = 0,
+        journal_hits: int = 0,
+        wall_s: Optional[float] = None,
+        jobs: Optional[int] = None,
+        mode: Optional[str] = None,
+        spec_hash: Optional[str] = None,
+        cache_key: Optional[str] = None,
+        git_sha: Optional[str] = None,
+        health: Optional[Dict[str, Any]] = None,
+        artifact_path: Optional[str] = None,
+        trace_path: Optional[str] = None,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> int:
+        """Insert one completion row; returns its id."""
+        values = (
+            time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            kind,
+            name,
+            status,
+            int(cells),
+            int(cache_hits),
+            int(cache_misses),
+            int(journal_hits),
+            wall_s if wall_s is None else round(float(wall_s), 6),
+            jobs,
+            mode,
+            spec_hash,
+            cache_key,
+            git_sha,
+            json.dumps(health, sort_keys=True) if health else None,
+            str(artifact_path) if artifact_path else None,
+            str(trace_path) if trace_path else None,
+            json.dumps(extra, sort_keys=True, default=str) if extra else None,
+        )
+        placeholders = ", ".join("?" for _ in _COLUMNS)
+        with self._connect() as connection:
+            cursor = connection.execute(
+                f"INSERT INTO runs ({', '.join(_COLUMNS)}) "
+                f"VALUES ({placeholders})",
+                values,
+            )
+            return int(cursor.lastrowid)
+
+    def update(self, run_id: int, **fields: Any) -> bool:
+        """Attach late-learned facts (trace path, artifact path, status).
+
+        Only existing columns may be updated; returns True when a row
+        was touched.
+        """
+        allowed = set(_COLUMNS) - {"created_at", "kind"}
+        unknown = set(fields) - allowed
+        if unknown:
+            raise ValueError(f"unknown history column(s): {sorted(unknown)}")
+        if not fields:
+            return False
+        clean = {
+            key: (
+                json.dumps(value, sort_keys=True, default=str)
+                if key in ("health", "extra") and isinstance(value, dict)
+                else value
+            )
+            for key, value in fields.items()
+        }
+        assignments = ", ".join(f"{key} = ?" for key in clean)
+        with self._connect() as connection:
+            cursor = connection.execute(
+                f"UPDATE runs SET {assignments} WHERE id = ?",
+                (*clean.values(), run_id),
+            )
+            return cursor.rowcount > 0
+
+    # -- reading --------------------------------------------------------
+
+    def get(self, run_id: int) -> Optional[HistoryEntry]:
+        """One entry by id, or None."""
+        if not self.path.exists():
+            return None
+        with self._connect(create=False) as connection:
+            row = connection.execute(
+                "SELECT * FROM runs WHERE id = ?", (run_id,)
+            ).fetchone()
+        return _entry_from_row(row) if row is not None else None
+
+    def query(
+        self,
+        *,
+        kind: Optional[str] = None,
+        name_like: Optional[str] = None,
+        status: Optional[str] = None,
+        since: Optional[str] = None,
+        limit: int = 50,
+    ) -> List[HistoryEntry]:
+        """Filtered entries, newest first.
+
+        ``name_like`` is a case-insensitive substring match; ``since``
+        compares against the ISO ``created_at`` stamp lexically (so any
+        prefix — ``2026-08``, a full timestamp — works).
+        """
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        if not self.path.exists():
+            return []
+        clauses: List[str] = []
+        params: List[Any] = []
+        if kind is not None:
+            clauses.append("kind = ?")
+            params.append(kind)
+        if name_like is not None:
+            clauses.append("name LIKE ?")
+            params.append(f"%{name_like}%")
+        if status is not None:
+            clauses.append("status = ?")
+            params.append(status)
+        if since is not None:
+            clauses.append("created_at >= ?")
+            params.append(since)
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        with self._connect(create=False) as connection:
+            rows = connection.execute(
+                f"SELECT * FROM runs{where} ORDER BY id DESC LIMIT ?",
+                (*params, limit),
+            ).fetchall()
+        return [_entry_from_row(row) for row in rows]
+
+    def list(self, limit: int = 20) -> List[HistoryEntry]:
+        """The most recent entries, newest first."""
+        return self.query(limit=limit)
+
+    def count(self) -> int:
+        """Total recorded rows (0 for a missing database)."""
+        if not self.path.exists():
+            return 0
+        with self._connect(create=False) as connection:
+            row = connection.execute("SELECT COUNT(*) AS n FROM runs").fetchone()
+        return int(row["n"])
+
+
+def record_completion(
+    kind: str,
+    name: str,
+    *,
+    db_path: Union[str, pathlib.Path, None] = None,
+    **fields: Any,
+) -> Optional[int]:
+    """Best-effort automatic recording — the producers' entry point.
+
+    Returns the new row id, or ``None`` when recording is disabled
+    (``REPRO_NO_HISTORY``) or failed for any environmental reason.  A
+    run must never die because its history could not be written.
+    """
+    if not history_enabled():
+        return None
+    try:
+        return RunHistory(db_path).record(kind, name, **fields)
+    except Exception:
+        return None
+
+
+def render_entries(entries: List[HistoryEntry]) -> List[str]:
+    """The ``repro history list/query`` table, one line per entry."""
+    if not entries:
+        return ["(no recorded runs)"]
+    headers = ("id", "when", "kind", "name", "cells", "served",
+               "wall", "status", "health")
+    rows = []
+    for entry in entries:
+        health = "-"
+        if entry.disturbed():
+            parts = [
+                f"{key}={value}"
+                for key, value in entry.health.items()
+                if value
+            ]
+            health = ",".join(parts)
+        rows.append(
+            (
+                str(entry.id),
+                entry.created_at[:19],
+                entry.kind,
+                entry.name if len(entry.name) <= 34 else entry.name[:31] + "...",
+                str(entry.cells) if entry.cells else "-",
+                entry.served_from,
+                f"{entry.wall_s:.2f}s" if entry.wall_s is not None else "-",
+                entry.status,
+                health,
+            )
+        )
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines.extend(
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in rows
+    )
+    return lines
+
+
+def render_entry(entry: HistoryEntry) -> List[str]:
+    """The ``repro history show`` detail block."""
+    lines = [
+        f"id:           {entry.id}",
+        f"created:      {entry.created_at}",
+        f"kind:         {entry.kind}",
+        f"name:         {entry.name}",
+        f"status:       {entry.status}",
+        f"served from:  {entry.served_from}",
+    ]
+    if entry.cells:
+        lines.append(
+            f"cells:        {entry.cells} "
+            f"(cache {entry.cache_hits} hit / {entry.cache_misses} miss, "
+            f"journal {entry.journal_hits})"
+        )
+    if entry.wall_s is not None:
+        lines.append(f"wall:         {entry.wall_s:.3f}s")
+    if entry.jobs is not None:
+        lines.append(f"jobs:         {entry.jobs} ({entry.mode or '?'})")
+    if entry.spec_hash:
+        lines.append(f"spec hash:    {entry.spec_hash}")
+    if entry.cache_key:
+        lines.append(f"cache key:    {entry.cache_key}")
+    if entry.git_sha:
+        lines.append(f"git:          {entry.git_sha}")
+    if entry.health:
+        pairs = " ".join(f"{k}={v}" for k, v in sorted(entry.health.items()))
+        lines.append(f"health:       {pairs}")
+    if entry.artifact_path:
+        lines.append(f"artifact:     {entry.artifact_path}")
+    if entry.trace_path:
+        lines.append(f"trace:        {entry.trace_path}")
+    if entry.extra:
+        pairs = " ".join(f"{k}={v}" for k, v in sorted(entry.extra.items()))
+        lines.append(f"extra:        {pairs}")
+    return lines

@@ -1,0 +1,15 @@
+"""Suite-wide fixtures."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_history(tmp_path, monkeypatch):
+    """Point default run-history recording at a per-test database.
+
+    Recording is automatic (and silent), so without this every CLI
+    test would append forensics rows to the developer's real
+    ``.repro-cache/history.db``.  Tests that want to *read* what was
+    recorded use this same path via :func:`repro.obs.default_db_path`.
+    """
+    monkeypatch.setenv("REPRO_HISTORY_DB", str(tmp_path / "history.db"))

@@ -305,3 +305,116 @@ class TestFaultsFlag:
     def test_missing_kind_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "--faults", ":x=1"])
+
+
+class TestTraceFlagAndCommand:
+    def test_run_trace_exports_loadable_json(self, tmp_path, capsys):
+        from repro.obs import load_trace
+
+        trace = tmp_path / "run-trace.json"
+        code = main(
+            ["run", "--algorithm", "ca-arrow", "--n", "3", "--horizon", "400",
+             "--trace", str(trace)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"trace: {trace}" in out
+        events = load_trace(trace)
+        names = {e["name"] for e in events}
+        assert "run" in names
+        assert {"sim.adversary", "sim.algorithm", "sim.channel"} <= names
+
+    def test_trace_off_output_is_identical(self, tmp_path, capsys):
+        args = ["run", "--algorithm", "ca-arrow", "--n", "3",
+                "--horizon", "400"]
+        main(args)
+        plain = capsys.readouterr().out
+        main(args + ["--trace", str(tmp_path / "t.json")])
+        traced = capsys.readouterr().out
+        assert traced.replace(f"trace: {tmp_path / 't.json'}\n", "") == plain
+
+    def test_grid_trace_and_summarize(self, tmp_path, capsys):
+        trace = tmp_path / "grid-trace.json"
+        code = main(
+            ["grid", "--algorithms", "ca-arrow", "--rhos", "1/2,7/10",
+             "--horizon", "200", "--no-cache", "--trace", str(trace)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        code = main(["trace", "summarize", str(trace)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "spans:" in out
+        assert "attempts: 2, all first-try ok" in out
+
+    def test_summarize_missing_file_exits_nonzero(self):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["trace", "summarize", "/no/such/trace.json"])
+        assert "cannot read" in str(exc_info.value)
+
+    def test_summarize_non_trace_exits_nonzero(self, tmp_path):
+        bogus = tmp_path / "not-a-trace.json"
+        bogus.write_text('{"nope": 1}')
+        with pytest.raises(SystemExit) as exc_info:
+            main(["trace", "summarize", str(bogus)])
+        assert "traceEvents" in str(exc_info.value)
+
+
+class TestHistoryCommand:
+    def test_run_then_list_and_show(self, tmp_path, capsys):
+        main(["run", "--algorithm", "ca-arrow", "--n", "3",
+              "--horizon", "400"])
+        capsys.readouterr()
+        code = main(["history", "list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ca-arrow@rho=1/2" in out
+        assert " run " in out
+        code = main(["history", "show", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "kind:         run" in out
+        assert "git:" in out
+
+    def test_grid_records_and_query_filters(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        args = ["grid", "--algorithms", "ca-arrow", "--rhos", "1/2",
+                "--horizon", "200", "--cache-dir", str(cache_dir)]
+        assert main(args) == 0
+        assert main(args) == 0
+        capsys.readouterr()
+        db = cache_dir / "history.db"
+        code = main(["history", "list", "--db", str(db)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count(" grid ") == 2
+        assert " cache " in out and " exec " in out
+        code = main(["history", "query", "--db", str(db), "--kind", "grid",
+                     "--limit", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count(" grid ") == 1
+
+    def test_empty_default_db_lists_nothing(self, capsys):
+        code = main(["history", "list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "(no recorded runs)" in out
+
+    def test_explicit_missing_db_exits_nonzero(self):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["history", "list", "--db", "/no/such/history.db"])
+        assert "cannot read" in str(exc_info.value)
+
+    def test_show_unknown_id_exits_nonzero(self, tmp_path, capsys):
+        main(["run", "--algorithm", "ca-arrow", "--n", "3",
+              "--horizon", "400"])
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as exc_info:
+            main(["history", "show", "999"])
+        assert "no history row" in str(exc_info.value)
+
+    def test_stats_missing_artifact_exits_nonzero(self):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["stats", "/no/such/artifact.jsonl"])
+        assert "cannot read" in str(exc_info.value)

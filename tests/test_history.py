@@ -1,0 +1,222 @@
+"""Tests for the persistent run-history index (:mod:`repro.obs.history`).
+
+The contract: every completed grid/sweep/bench/run records one row —
+automatically, silently, and without ever being able to fail the run
+that produced it — and the rows read back with enough fidelity to
+answer "what ran, how was it served, and where is the evidence".
+"""
+
+import os
+
+import pytest
+
+from repro.algorithms import CAArrow
+from repro.analysis import run_grid_report, sweep_seeds_report
+from repro.analysis.experiments import ExperimentCell
+from repro.arrivals import UniformRate
+from repro.exec import ResultCache
+from repro.obs import RunHistory, default_db_path, history_enabled
+from repro.obs.history import (
+    record_completion,
+    render_entries,
+    render_entry,
+)
+from repro.timing import worst_case_for
+
+
+def cell(name="demo", rho="1/2", horizon=400):
+    n = 3
+    return ExperimentCell(
+        name=name,
+        algorithms=lambda: {i: CAArrow(i, n, 2) for i in range(1, n + 1)},
+        slot_adversary=lambda: worst_case_for(2),
+        arrival_source=lambda: UniformRate(
+            rho=rho, targets=[1, 2, 3], assumed_cost=2
+        ),
+        max_slot_length=2,
+        horizon=horizon,
+    )
+
+
+class TestRunHistory:
+    def test_record_and_get(self, tmp_path):
+        history = RunHistory(tmp_path / "h.db")
+        run_id = history.record(
+            "grid",
+            "demo",
+            cells=4,
+            cache_hits=1,
+            cache_misses=3,
+            wall_s=1.25,
+            jobs=2,
+            mode="fork-pool",
+            git_sha="abc123",
+            health={"retries": 2},
+            extra={"note": "hello"},
+        )
+        entry = history.get(run_id)
+        assert (entry.kind, entry.name, entry.status) == ("grid", "demo", "ok")
+        assert (entry.cells, entry.cache_hits) == (4, 1)
+        assert entry.wall_s == pytest.approx(1.25)
+        assert entry.health == {"retries": 2}
+        assert entry.extra == {"note": "hello"}
+        assert entry.disturbed()
+
+    def test_served_from_classification(self, tmp_path):
+        history = RunHistory(tmp_path / "h.db")
+        cached = history.get(history.record("grid", "g", cells=2, cache_hits=2))
+        executed = history.get(history.record("grid", "g", cells=2))
+        mixed = history.get(history.record("grid", "g", cells=2, cache_hits=1))
+        journal = history.get(
+            history.record("grid", "g", cells=2, journal_hits=2)
+        )
+        assert cached.served_from == "cache"
+        assert executed.served_from == "exec"
+        assert mixed.served_from == "mixed"
+        assert journal.served_from == "journal"
+
+    def test_query_filters(self, tmp_path):
+        history = RunHistory(tmp_path / "h.db")
+        history.record("grid", "alpha")
+        history.record("sweep", "beta", status="failed")
+        history.record("bench", "alpha_table")
+        assert [e.name for e in history.list()] == [
+            "alpha_table", "beta", "alpha",
+        ]  # newest first
+        assert [e.name for e in history.query(kind="grid")] == ["alpha"]
+        assert [e.name for e in history.query(name_like="ALPHA")] == [
+            "alpha_table", "alpha",
+        ]
+        assert [e.name for e in history.query(status="failed")] == ["beta"]
+        assert history.query(limit=1)[0].name == "alpha_table"
+        with pytest.raises(ValueError):
+            history.query(limit=0)
+
+    def test_update_attaches_late_facts(self, tmp_path):
+        history = RunHistory(tmp_path / "h.db")
+        run_id = history.record("grid", "g")
+        assert history.update(run_id, trace_path="t.json", status="failed")
+        entry = history.get(run_id)
+        assert (entry.trace_path, entry.status) == ("t.json", "failed")
+        with pytest.raises(ValueError):
+            history.update(run_id, kind="nope")
+        assert not history.update(run_id + 999, status="ok")
+
+    def test_missing_db_reads_as_empty(self, tmp_path):
+        history = RunHistory(tmp_path / "never-created.db")
+        assert history.get(1) is None
+        assert history.list() == []
+        assert history.count() == 0
+        assert not (tmp_path / "never-created.db").exists()  # reads don't create
+
+    def test_record_completion_never_raises(self, tmp_path):
+        # An unwritable path must yield None, not an exception.
+        bad = tmp_path / "file-not-dir"
+        bad.write_text("x")
+        assert (
+            record_completion("grid", "g", db_path=bad / "h.db") is None
+        )
+
+    def test_no_history_env_disables(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_HISTORY", "1")
+        assert not history_enabled()
+        assert record_completion("grid", "g", db_path=tmp_path / "h.db") is None
+        assert not (tmp_path / "h.db").exists()
+
+    def test_default_db_honors_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HISTORY_DB", "/tmp/somewhere.db")
+        assert default_db_path() == "/tmp/somewhere.db"
+
+
+class TestAutoRecording:
+    def test_grid_records_next_to_its_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cells = [cell(name="a"), cell(name="b", rho="7/10")]
+        first = run_grid_report(cells, cache=cache)
+        second = run_grid_report(cells, cache=cache)
+        history = RunHistory(tmp_path / "cache" / "history.db")
+        entries = history.list()
+        assert [e.served_from for e in entries] == ["cache", "exec"]
+        assert all(e.kind == "grid" and e.cells == 2 for e in entries)
+        assert entries[0].id == second.history_id
+        assert entries[1].id == first.history_id
+        assert entries[1].spec_hash == entries[0].spec_hash
+
+    def test_uncached_grid_records_to_default_db(self, tmp_path):
+        # conftest points REPRO_HISTORY_DB at tmp_path/history.db.
+        report = run_grid_report([cell()])
+        entry = RunHistory().get(report.history_id)
+        assert entry is not None and entry.kind == "grid"
+        assert entry.name == "demo"
+        assert os.environ["REPRO_HISTORY_DB"] == str(RunHistory().path)
+
+    def test_history_false_disables(self, tmp_path):
+        report = run_grid_report([cell()], history=False)
+        assert report.history_id is None
+        assert RunHistory().count() == 0
+
+    def test_failed_grid_records_failed_status(self, tmp_path):
+        def explode():
+            raise ValueError("boom")
+
+        bad = ExperimentCell(
+            name="boom",
+            algorithms=explode,
+            slot_adversary=lambda: worst_case_for(2),
+            arrival_source=lambda: UniformRate(
+                rho="1/2", targets=[1, 2, 3], assumed_cost=2
+            ),
+            max_slot_length=2,
+            horizon=400,
+        )
+        report = run_grid_report([bad])
+        assert report.failures
+        entry = RunHistory().get(report.history_id)
+        assert entry.status == "failed"
+
+    def test_sweep_records(self, tmp_path):
+        report = sweep_seeds_report(lambda seed: seed * 2, range(5))
+        entry = RunHistory().get(report.history_id)
+        assert entry.kind == "sweep"
+        assert entry.cells == 5
+
+    def test_bench_emit_records(self, tmp_path, monkeypatch):
+        import importlib
+
+        reporting = importlib.import_module("benchmarks.reporting")
+        monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path / "results")
+        reporting.emit(
+            "demo_table",
+            ["title"] + reporting.table(["a"], [[1]]),
+            meta={"wall_s": 0.5, "jobs": 2, "mode": "fork-pool",
+                  "cells": 3, "cache_hits": 3, "cache_misses": 0,
+                  "custom": "kept"},
+        )
+        [entry] = RunHistory().list()
+        assert (entry.kind, entry.name) == ("bench", "demo_table")
+        assert entry.served_from == "cache"
+        assert entry.wall_s == pytest.approx(0.5)
+        assert entry.extra == {"custom": "kept"}
+        assert entry.artifact_path.endswith("demo_table.json")
+
+
+class TestRendering:
+    def test_render_entries_table(self, tmp_path):
+        history = RunHistory(tmp_path / "h.db")
+        history.record("grid", "g", cells=2, cache_hits=2, wall_s=0.5,
+                       health={"retries": 1})
+        lines = render_entries(history.list())
+        assert "served" in lines[0]
+        assert any("cache" in line and "retries=1" in line for line in lines)
+
+    def test_render_empty(self):
+        assert render_entries([]) == ["(no recorded runs)"]
+
+    def test_render_entry_detail(self, tmp_path):
+        history = RunHistory(tmp_path / "h.db")
+        run_id = history.record(
+            "grid", "g", cells=2, trace_path="t.json", git_sha="abc"
+        )
+        text = "\n".join(render_entry(history.get(run_id)))
+        assert "trace:        t.json" in text
+        assert "git:          abc" in text
