@@ -127,13 +127,22 @@ class ExperimentCell:
 
 @dataclass(frozen=True, slots=True)
 class CellResult:
-    """Measurements of one cell run."""
+    """Measurements of one cell run.
+
+    ``engine``/``timebase`` record which run loop and internal time
+    representation actually executed the cell (resolved, not
+    requested) so perf-table diffs stay attributable.  They are
+    excluded from :meth:`as_row` — the observable measurements are
+    bit-identical across engines, and the CSV schema stays stable.
+    """
 
     name: str
     labels: Dict[str, str]
     metrics: RunMetrics
     stable: bool
     peak_backlog: int
+    engine: str = "object"
+    timebase: str = ""
 
     def as_row(self) -> Dict[str, object]:
         """Flatten into a CSV-ready dictionary."""
@@ -203,24 +212,35 @@ def emit_phase_spans(
 
 
 def _execute_cell(
-    cell: ExperimentCell, backlog_stride: int, with_metrics: bool
+    cell: ExperimentCell,
+    backlog_stride: int,
+    with_metrics: bool,
+    engine: str = "auto",
 ) -> "tuple[CellResult, Optional[Dict[str, Any]]]":
     """Run one cell; optionally carry a worker-side metrics pack.
 
     With a tracer active the run is wrapped in a ``cell`` span and a
     :class:`PhaseProfiler` is attached so the simulator's phase totals
-    become ``sim.*`` child spans.
+    become ``sim.*`` child spans.  Per-phase timing is object-path
+    only, so the profiler keeps ``engine="auto"`` cells on the object
+    loop; forcing ``engine="batch"`` trades the ``sim.*`` spans for the
+    vectorized kernel instead of raising.
     """
     tracer = current_tracer()
     if tracer is None:
-        return _execute_cell_impl(cell, backlog_stride, with_metrics, None)
+        return _execute_cell_impl(cell, backlog_stride, with_metrics, None, engine)
     with tracer.span("cell", cell=cell.name) as span:
-        profiler = PhaseProfiler()
+        profiler = None if engine == "batch" else PhaseProfiler()
         result, snapshot = _execute_cell_impl(
-            cell, backlog_stride, with_metrics, profiler
+            cell, backlog_stride, with_metrics, profiler, engine
         )
-        emit_phase_spans(tracer, span, profiler)
-        span.set(stable=result.stable, delivered=result.metrics.delivered)
+        if profiler is not None:
+            emit_phase_spans(tracer, span, profiler)
+        span.set(
+            stable=result.stable,
+            delivered=result.metrics.delivered,
+            engine=result.engine,
+        )
         return result, snapshot
 
 
@@ -229,6 +249,7 @@ def _execute_cell_impl(
     backlog_stride: int,
     with_metrics: bool,
     profiler: Optional[PhaseProfiler],
+    engine: str = "auto",
 ) -> "tuple[CellResult, Optional[Dict[str, Any]]]":
     from ..obs import ProbeBus, SimulationMetrics
 
@@ -246,6 +267,7 @@ def _execute_cell_impl(
         trace=trace,
         probes=bus,
         profiler=profiler,
+        engine=engine,
     )
     horizon = as_time(cell.horizon)
     sim.run(until_time=horizon)
@@ -258,18 +280,22 @@ def _execute_cell_impl(
         metrics=collect_metrics(sim),
         stable=verdict.stable,
         peak_backlog=trace.max_backlog,
+        engine=sim.engine,
+        timebase=sim.timebase.describe(),
     )
     return result, (sim_metrics.snapshot() if sim_metrics is not None else None)
 
 
-def run_cell(cell: ExperimentCell, backlog_stride: int = 8) -> CellResult:
+def run_cell(
+    cell: ExperimentCell, backlog_stride: int = 8, *, engine: str = "auto"
+) -> CellResult:
     """Execute one cell and collect its measurements.
 
     >>> result = run_cell(_demo_cell(), backlog_stride=4)
     >>> (result.name, result.stable, result.peak_backlog >= result.metrics.backlog)
     ('demo', True, True)
     """
-    return _execute_cell(cell, backlog_stride, with_metrics=False)[0]
+    return _execute_cell(cell, backlog_stride, with_metrics=False, engine=engine)[0]
 
 
 def _cell_payload(cell: ExperimentCell, backlog_stride: int) -> Dict[str, Any]:
@@ -422,6 +448,7 @@ def _record_grid_history(
         spec_hash=spec_hash,
         git_sha=git_sha(),
         health=report.health.as_dict(),
+        extra={"engines": sorted({r.engine for r in report.results if r.engine})},
     )
 
 
@@ -438,6 +465,7 @@ def run_grid_report(
     journal: "Optional[GridJournal | str]" = None,
     resume: bool = False,
     history: "Optional[bool | str | Path]" = None,
+    engine: str = "auto",
 ) -> GridReport:
     """Run a grid and report results plus execution/caching facts.
 
@@ -474,6 +502,7 @@ def run_grid_report(
             retries=retries,
             journal=journal,
             resume=resume,
+            engine=engine,
         )
     else:
         with tracer.span(
@@ -490,6 +519,7 @@ def run_grid_report(
                 retries=retries,
                 journal=journal,
                 resume=resume,
+                engine=engine,
             )
             span.set(
                 mode=report.mode,
@@ -514,6 +544,7 @@ def _run_grid_report(
     retries: int = 0,
     journal: "Optional[GridJournal | str]" = None,
     resume: bool = False,
+    engine: str = "auto",
 ) -> GridReport:
     """The engine behind :func:`run_grid_report` (which adds span+history)."""
     started = time.perf_counter()
@@ -553,7 +584,10 @@ def _run_grid_report(
         pending.append(index)
 
     tasks = [
-        functools.partial(_execute_cell, cells[index], backlog_stride, collect_metrics)
+        functools.partial(
+            _execute_cell, cells[index], backlog_stride, collect_metrics,
+            engine,
+        )
         for index in pending
     ]
 
@@ -622,6 +656,7 @@ def run_grid(
     journal: "Optional[GridJournal | str]" = None,
     resume: bool = False,
     history: "Optional[bool | str | Path]" = None,
+    engine: str = "auto",
 ) -> List[CellResult]:
     """Run every cell; results in cell order (deterministic runs).
 
@@ -651,6 +686,7 @@ def run_grid(
         journal=journal,
         resume=resume,
         history=history,
+        engine=engine,
     )
     if report.failures:
         detail = "; ".join(f.summary() for f in report.failures)

@@ -237,6 +237,18 @@ def _run_spec(spec: ScenarioSpec, args: argparse.Namespace) -> int:
     if args.metrics or args.emit_jsonl:
         sim_metrics = SimulationMetrics()
         sim_metrics.attach(bus)
+    tracer = current_tracer()
+    # With the flight recorder on, always profile: the per-phase totals
+    # become the trace's sim.* spans (printed only under --profile).
+    profiler = PhaseProfiler() if (args.profile or tracer is not None) else None
+    try:
+        sim = spec.build(
+            trace=Trace(backlog_stride=8), probes=bus, profiler=profiler,
+            timebase=getattr(args, "timebase", "auto"),
+            engine=getattr(args, "engine", "auto"),
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
     if args.emit_jsonl:
         manifest = RunManifest.create(
             spec=spec.canonical(),
@@ -249,6 +261,8 @@ def _run_spec(spec: ScenarioSpec, args: argparse.Namespace) -> int:
             schedule=spec.schedule_display(),
             seed=spec.seed,
             horizon=str(spec.horizon),
+            engine=sim.engine,
+            timebase=sim.timebase.describe(),
         )
         try:
             writer = JsonlRunWriter(
@@ -261,23 +275,12 @@ def _run_spec(spec: ScenarioSpec, args: argparse.Namespace) -> int:
             raise SystemExit(f"--progress must be >= 1, got {args.progress}")
         # The user picked the cadence explicitly; don't rate-limit it away.
         ProgressReporter(every_events=args.progress, min_interval_s=0.0).attach(bus)
-    tracer = current_tracer()
-    # With the flight recorder on, always profile: the per-phase totals
-    # become the trace's sim.* spans (printed only under --profile).
-    profiler = PhaseProfiler() if (args.profile or tracer is not None) else None
-
-    try:
-        sim = spec.build(
-            trace=Trace(backlog_stride=8), probes=bus, profiler=profiler,
-            timebase=getattr(args, "timebase", "auto"),
-        )
-    except ConfigurationError as exc:
-        raise SystemExit(str(exc)) from None
     started = time.perf_counter()
     run_span = None
     if tracer is not None:
         run_span = tracer.begin(
-            "run", scenario=spec.name, algorithm=spec.algorithm
+            "run", scenario=spec.name, algorithm=spec.algorithm,
+            engine=sim.engine,
         )
     sim.run(until_time=spec.horizon)
     if run_span is not None:
@@ -300,11 +303,18 @@ def _run_spec(spec: ScenarioSpec, args: argparse.Namespace) -> int:
         git_sha=git_sha(),
         artifact_path=args.emit_jsonl or None,
         trace_path=getattr(args, "trace", None),
-        extra={"delivered": metrics.delivered, "backlog": metrics.backlog},
+        extra={"delivered": metrics.delivered, "backlog": metrics.backlog,
+               "engine": sim.engine, "timebase": sim.timebase.describe()},
     )
+    # The header line is golden-pinned (tests/golden/) — engine and
+    # timebase are run options, surfaced via --verbose-engine instead.
     print(f"algorithm={spec.algorithm} n={spec.n} R={spec.max_slot} "
           f"rho={spec.rho} schedule={spec.schedule_display()} "
           f"horizon={spec.horizon}")
+    if getattr(args, "verbose_engine", False):
+        detail = f" ({sim.engine_detail})" if sim.engine_detail else ""
+        print(f"  engine:         {sim.engine}/"
+              f"{sim.timebase.describe()}{detail}")
     print(f"  delivered:      {metrics.delivered}")
     print(f"  backlog:        {metrics.backlog} (peak {metrics.max_backlog})")
     print(f"  collisions:     {metrics.collisions}")
@@ -481,23 +491,30 @@ def _cmd_grid(args: argparse.Namespace) -> int:
                 retries=args.retries,
                 journal=journal,
                 resume=args.resume,
+                engine=args.engine,
             )
     except JournalMismatch as exc:
         raise SystemExit(str(exc))
     _attach_grid_history(report, cache, trace=args.trace, csv=args.csv)
     header = (
         f"{'name':<24} {'stable':<8} {'delivered':>9} {'backlog':>7} "
-        f"{'peak':>5} {'coll':>5} {'thr':>7}"
+        f"{'peak':>5} {'coll':>5} {'thr':>7}  {'engine/timebase':<15}"
     )
     print(header)
     print("-" * len(header))
     for result in report.results:
+        # Cached rows predating the engine field render as "-" rather
+        # than guessing what executed them.
+        engine_note = (
+            f"{result.engine}/{result.timebase}" if result.timebase else "-"
+        )
         print(
             f"{result.name:<24} "
             f"{'stable' if result.stable else 'UNSTABLE':<8} "
             f"{result.metrics.delivered:>9} {result.metrics.backlog:>7} "
             f"{result.peak_backlog:>5} {result.metrics.collisions:>5} "
-            f"{float(result.metrics.throughput_cost):>7.3f}"
+            f"{float(result.metrics.throughput_cost):>7.3f}  "
+            f"{engine_note:<15}"
         )
     cache_note = (
         f"cache: {report.cache_hits} hit / {report.cache_misses} miss "
@@ -856,6 +873,15 @@ def _obs_flags(parser: argparse.ArgumentParser) -> None:
                         help="internal time representation (observably "
                         "identical; 'auto' uses integer ticks when the "
                         "scenario declares a time lattice)")
+    parser.add_argument("--engine", choices=("auto", "batch", "object"),
+                        default="auto",
+                        help="run loop (observably identical; 'auto' uses "
+                        "the vectorized batch kernel when every component "
+                        "is batch-eligible, else the per-object loop)")
+    parser.add_argument("--verbose-engine", action="store_true",
+                        help="print the resolved engine/timebase (and the "
+                        "demotion reason when auto fell back to the object "
+                        "loop)")
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="record a flight-recorder trace and export "
                         "Chrome trace-event JSON (Perfetto-loadable)")
@@ -913,6 +939,11 @@ def build_parser() -> argparse.ArgumentParser:
     grid_p.add_argument("--csv", metavar="PATH", help="also write results as CSV")
     grid_p.add_argument("--progress", action="store_true",
                         help="report per-cell progress on stderr")
+    grid_p.add_argument("--engine", choices=("auto", "batch", "object"),
+                        default="auto",
+                        help="run loop per cell (observably identical; "
+                        "'auto' picks the vectorized batch kernel when "
+                        "the cell is batch-eligible)")
     grid_p.add_argument("--trace", metavar="PATH", default=None,
                         help="record a flight-recorder trace of the grid "
                         "(pool dispatch, attempts, cache, per-cell sim "

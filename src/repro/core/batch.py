@@ -1,0 +1,1100 @@
+"""Vectorized whole-fleet kernel — the ``engine="batch"`` fast path.
+
+The per-object event loop in :mod:`repro.core.simulator` costs a few
+microseconds of Python per slot per station; at n = 10^4..10^6 stations
+that Python overhead dominates the run.  This module provides an
+alternative *inner loop* over the very same canonical state: all slots
+ending at one lattice tick are processed as a single NumPy batch.
+
+Design contract (the parity-oracle contract, see docs/vectorization.md):
+
+* The kernel mutates only the simulator's canonical objects — the real
+  :class:`~repro.core.channel.Channel`, the real
+  :class:`~repro.core.packet.PacketQueue` per station, the real
+  :class:`~repro.core.trace.Trace` — through the same calls, in the
+  same order, as the object path.  Whole-fleet per-slot state (queue
+  depths, automaton phase, slot boundaries) is mirrored into NumPy
+  arrays on entry (:meth:`_BatchKernel._load`) and written back on exit
+  (:meth:`_BatchKernel._store`), so object- and batch-engine ``run()``
+  calls can be freely interleaved on one simulator.
+* Results are **bit-identical** to the object engine.  The enabling
+  observation is same-tick causality: a transmission starting at tick
+  ``t`` can never affect the feedback of a slot ending at ``t``
+  (overlap requires ``start < end``; an acknowledgment requires the
+  success to end at or before ``t``, and every stored record ends
+  strictly after it starts).  Hence the feedback of every slot ending
+  at ``t`` is computable up front, and processing the tick's stations
+  in ascending-id order reproduces the event order exactly — any
+  *prefix* of that order is also event-order exact, which is how
+  ``max_events`` and ``run_until_success`` stop mid-tick losslessly.
+* RNG-bearing components (:class:`~repro.algorithms.aloha.SlottedAloha`
+  per-station generators, :class:`~repro.timing.adversary.RandomUniform`)
+  keep their canonical ``random.Random`` objects; draws happen as
+  scalar calls in exactly the object path's order.
+
+Eligibility is decided once, at ``Simulator`` construction, by
+:func:`batch_blocker`: a run is batch-eligible when it is on the integer
+tick lattice, has no per-event observers (probe bus, profiler, per-slot
+trace records), its slot adversary and its homogeneous station
+algorithm class both have registered vector programs below, and its
+arrival source (if any) exposes the exact ``next_arrival_hint``
+protocol.  Anything else demotes to the object path with a named
+reason, mirroring how ``timebase="auto"`` demotes off-lattice runs.
+
+One knowingly-accepted divergence: schedule programs validate their
+declared slot-length tables at kernel entry, so a malformed length deep
+in a :class:`~repro.timing.adversary.TableDriven` table raises at run
+start rather than at the offending slot.  The exception type and
+message are the canonical ones; only the amount of work done before
+raising differs, and error paths are outside the parity contract.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - the toolchain bakes numpy in
+    np = None
+
+from .errors import ConfigurationError, ProtocolError, SimulationError
+from .station import (
+    LISTEN,
+    TRANSMIT_CONTROL,
+    TRANSMIT_PACKET,
+    AlwaysListen,
+    AlwaysTransmit,
+)
+from .timebase import Interval, as_time
+from .simulator import _PRUNE_EVERY
+
+#: Action codes used inside the kernel (``int8``).
+_A_LISTEN, _A_TX_PKT, _A_TX_CTRL = 0, 1, 2
+_ACTIONS = (LISTEN, TRANSMIT_PACKET, TRANSMIT_CONTROL)
+
+#: Feedback codes used inside the kernel (``int8``).
+_F_SILENCE, _F_BUSY, _F_ACK = 0, 1, 2
+
+#: Station-algorithm class -> AlgorithmProgram subclass.  Dispatch is by
+#: *exact* type: a subclass may override anything, so it must register
+#: its own program (or demote to the object path).
+BATCH_ALGORITHMS: Dict[type, type] = {}
+
+#: Slot-adversary class -> ScheduleProgram subclass (exact type, ditto).
+BATCH_SCHEDULES: Dict[type, type] = {}
+
+
+def vectorizes(algorithm_cls: type):
+    """Class decorator registering a vector program for one algorithm class."""
+
+    def register(program_cls: type) -> type:
+        BATCH_ALGORITHMS[algorithm_cls] = program_cls
+        return program_cls
+
+    return register
+
+
+def schedules(adversary_cls: type):
+    """Class decorator registering a vector program for one slot adversary."""
+
+    def register(program_cls: type) -> type:
+        BATCH_SCHEDULES[adversary_cls] = program_cls
+        return program_cls
+
+    return register
+
+
+# ----------------------------------------------------------------------
+# Eligibility
+# ----------------------------------------------------------------------
+
+
+def batch_blocker(sim) -> Optional[str]:
+    """Why this simulator cannot run on the batch engine, or ``None``.
+
+    Called once at ``Simulator`` construction; the returned reason is
+    surfaced through ``Simulator.engine_detail`` (and raised verbatim
+    when ``engine="batch"`` was forced).
+    """
+    if np is None:
+        return "NumPy is not available"
+    if not sim.timebase.is_lattice:
+        detail = getattr(sim, "_timebase_detail", None)
+        if detail:
+            return f"the run is on the exact Fraction timebase ({detail})"
+        return "the run is on the exact Fraction timebase"
+    if sim.probes is not None:
+        return "a ProbeBus is attached (per-event probes are object-path only)"
+    if sim.profiler is not None:
+        return "a PhaseProfiler is attached (per-phase timing is object-path only)"
+    if sim.trace.record_slots:
+        return "per-slot trace recording (record_slots) is object-path only"
+    adversary_cls = type(sim.slot_adversary)
+    if adversary_cls not in BATCH_SCHEDULES:
+        return (
+            f"slot adversary {adversary_cls.__name__} has no vectorized "
+            "schedule program"
+        )
+    algorithm_classes = {type(rt.algorithm) for rt in sim.stations.values()}
+    if len(algorithm_classes) > 1:
+        names = ", ".join(sorted(cls.__name__ for cls in algorithm_classes))
+        return f"mixed station algorithm classes ({names}) are object-path only"
+    algorithm_cls = next(iter(algorithm_classes))
+    program_cls = BATCH_ALGORITHMS.get(algorithm_cls)
+    if program_cls is None:
+        return (
+            f"station algorithm {algorithm_cls.__name__} has no vectorized "
+            "program"
+        )
+    fleet = [sim.stations[sid].algorithm for sid in sim.station_ids]
+    reason = program_cls.check(fleet)
+    if reason is not None:
+        return reason
+    source = sim.arrival_source
+    if source is not None and getattr(source, "next_arrival_hint", None) is None:
+        return (
+            f"arrival source {type(source).__name__} exposes no "
+            "next_arrival_hint (adaptive sources are object-path only)"
+        )
+    return None
+
+
+# ----------------------------------------------------------------------
+# Program base classes
+# ----------------------------------------------------------------------
+
+
+class AlgorithmProgram:
+    """Vector mirror of one :class:`StationAlgorithm` class across the fleet.
+
+    Lifecycle per kernel entry: :meth:`load` snapshots every canonical
+    algorithm object's state into arrays, :meth:`step` advances the
+    members of each tick batch, :meth:`store` writes the state back so
+    the canonical objects are again the single source of truth.
+
+    ``step`` receives the batch members as fleet indices ``m`` (sorted
+    ascending — equal to ascending station-id order), their feedback
+    codes, their *post-delivery* queue lengths and the slot index the
+    object path would hand to ``on_slot_end`` via ``SlotContext``; it
+    returns one action code per member.
+    """
+
+    def __init__(self, kernel: "_BatchKernel") -> None:
+        self.kernel = kernel
+        self.algos = kernel.algos
+
+    @classmethod
+    def check(cls, fleet: Sequence[object]) -> Optional[str]:
+        """Extra per-class eligibility hook; a reason string demotes."""
+        return None
+
+    def load(self) -> None:
+        raise NotImplementedError
+
+    def step(self, m, fb, q, new_index):
+        raise NotImplementedError
+
+    def store(self) -> None:
+        raise NotImplementedError
+
+
+class ScheduleProgram:
+    """Vector mirror of one :class:`SlotAdversary` class.
+
+    ``lengths`` returns integer tick lengths for the batch members'
+    *next* slots; every value a program can produce is validated against
+    ``[1, R]`` (with the canonical error) in :meth:`load`, so the hot
+    path needs no per-slot checks.
+    """
+
+    def __init__(self, kernel: "_BatchKernel", adversary) -> None:
+        self.kernel = kernel
+        self.adversary = adversary
+
+    def _ticks(self, public_length) -> int:
+        """Convert one declared public length to validated ticks."""
+        return int(
+            self.kernel.tb.check_slot_length(public_length, self.kernel.max_dur)
+        )
+
+    def load(self) -> None:
+        raise NotImplementedError
+
+    def lengths(self, m, new_index):
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# Algorithm programs
+# ----------------------------------------------------------------------
+
+
+@vectorizes(AlwaysListen)
+class AlwaysListenProgram(AlgorithmProgram):
+    def load(self) -> None:
+        pass
+
+    def step(self, m, fb, q, new_index):
+        return np.zeros(len(m), dtype=np.int8)
+
+    def store(self) -> None:
+        pass
+
+
+@vectorizes(AlwaysTransmit)
+class AlwaysTransmitProgram(AlgorithmProgram):
+    def load(self) -> None:
+        pass
+
+    def step(self, m, fb, q, new_index):
+        return np.where(q > 0, _A_TX_PKT, _A_TX_CTRL).astype(np.int8)
+
+    def store(self) -> None:
+        pass
+
+
+class SlottedAlohaProgram(AlgorithmProgram):
+    """Stats and the was-transmitting flag vectorize; the per-station
+    Bernoulli draws stay scalar calls on each station's own
+    ``random.Random`` (drawn only when the queue is non-empty, exactly
+    as ``SlottedAloha._decide`` does), so RNG streams remain canonical.
+    """
+
+    def load(self) -> None:
+        algos = self.algos
+        self.was = np.array([a._was_transmitting for a in algos], dtype=bool)
+        self.attempts = np.array(
+            [a.stats.attempts for a in algos], dtype=np.int64
+        )
+        self.deliveries = np.array(
+            [a.stats.deliveries for a in algos], dtype=np.int64
+        )
+
+    def step(self, m, fb, q, new_index):
+        self.deliveries[m] += self.was[m] & (fb == _F_ACK)
+        acts = np.zeros(len(m), dtype=np.int8)
+        transmitting = np.zeros(len(m), dtype=bool)
+        algos = self.algos
+        for j in np.nonzero(q > 0)[0]:
+            algo = algos[int(m[j])]
+            if algo._rng.random() < algo.transmit_probability:
+                acts[j] = _A_TX_PKT
+                transmitting[j] = True
+        self.attempts[m] += transmitting
+        self.was[m] = transmitting
+        return acts
+
+    def store(self) -> None:
+        for i, algo in enumerate(self.algos):
+            algo._was_transmitting = bool(self.was[i])
+            algo.stats.attempts = int(self.attempts[i])
+            algo.stats.deliveries = int(self.deliveries[i])
+
+
+class NaiveTDMAProgram(AlgorithmProgram):
+    def load(self) -> None:
+        self.n = np.array([a.n_stations for a in self.algos], dtype=np.int64)
+
+    def step(self, m, fb, q, new_index):
+        mine = new_index % self.n[m] == self.kernel.sids[m] - 1
+        return np.where(mine & (q > 0), _A_TX_PKT, _A_LISTEN).astype(np.int8)
+
+    def store(self) -> None:
+        pass
+
+
+class RRWProgram(AlgorithmProgram):
+    def load(self) -> None:
+        algos = self.algos
+        self.turn = np.array([a.turn for a in algos], dtype=np.int64)
+        self.transmitting = np.array(
+            [a.transmitting for a in algos], dtype=bool
+        )
+        self.n = np.array([a.n_stations for a in algos], dtype=np.int64)
+        self.turns_taken = np.array(
+            [a.stats.turns_taken for a in algos], dtype=np.int64
+        )
+        self.packets_sent = np.array(
+            [a.stats.packets_sent for a in algos], dtype=np.int64
+        )
+        self.retries = np.array([a.stats.retries for a in algos], dtype=np.int64)
+
+    def step(self, m, fb, q, new_index):
+        holding = self.transmitting[m]
+        silent = fb == _F_SILENCE
+        acked = fb == _F_ACK
+        if bool(np.any(holding & silent)):
+            raise ProtocolError(
+                "silence feedback on a transmitting slot — broken channel model"
+            )
+        burst_more = holding & acked & (q > 0)
+        retry = holding & (fb == _F_BUSY)
+        self.packets_sent[m] += holding & acked
+        self.retries[m] += retry
+
+        idle = ~holding
+        turn = self.turn[m]
+        turn = np.where(idle & silent, turn % self.n[m] + 1, turn)
+        # _holder_action for idle stations only: a holder finishing its
+        # burst (ack, empty queue) listens without re-checking the turn.
+        take = idle & (turn == self.kernel.sids[m]) & (q > 0)
+        self.turns_taken[m] += take
+
+        transmitting = burst_more | retry | take
+        self.turn[m] = turn
+        self.transmitting[m] = transmitting
+        return np.where(transmitting, _A_TX_PKT, _A_LISTEN).astype(np.int8)
+
+    def store(self) -> None:
+        for i, algo in enumerate(self.algos):
+            algo.turn = int(self.turn[i])
+            algo.transmitting = bool(self.transmitting[i])
+            algo.stats.turns_taken = int(self.turns_taken[i])
+            algo.stats.packets_sent = int(self.packets_sent[i])
+            algo.stats.retries = int(self.retries[i])
+
+
+_MBTF_STATES = ("wait", "transmit_pending", "transmit")
+
+
+class MBTFLikeProgram(AlgorithmProgram):
+    def load(self) -> None:
+        algos = self.algos
+        index = {name: code for code, name in enumerate(_MBTF_STATES)}
+        self.state = np.array([index[a.state] for a in algos], dtype=np.int8)
+        self.turn = np.array([a.turn for a in algos], dtype=np.int64)
+        self.heard = np.array([a.heard_activity for a in algos], dtype=bool)
+        self.noise = np.array([a._noise_turn for a in algos], dtype=bool)
+        self.n = np.array([a.n_stations for a in algos], dtype=np.int64)
+        self.turns_taken = np.array(
+            [a.stats.turns_taken for a in algos], dtype=np.int64
+        )
+        self.packets_sent = np.array(
+            [a.stats.packets_sent for a in algos], dtype=np.int64
+        )
+        self.empty_signals = np.array(
+            [a.stats.empty_signals_sent for a in algos], dtype=np.int64
+        )
+        self.retries = np.array([a.stats.retries for a in algos], dtype=np.int64)
+
+    def step(self, m, fb, q, new_index):
+        state = self.state[m]
+        heard = self.heard[m]
+        noise = self.noise[m]
+        turn = self.turn[m]
+        silent = fb == _F_SILENCE
+        busy = fb == _F_BUSY
+        acked = fb == _F_ACK
+
+        transmit = state == 2
+        if bool(np.any(transmit & silent)):
+            raise ProtocolError(
+                "silence feedback on a transmitting slot — broken channel model"
+            )
+        acts = np.zeros(len(m), dtype=np.int8)
+
+        retry = transmit & busy
+        self.retries[m] += retry
+        acts[retry] = np.where(noise[retry], _A_TX_CTRL, _A_TX_PKT)
+
+        done = transmit & acked
+        self.empty_signals[m] += done & noise
+        self.packets_sent[m] += done & ~noise
+        burst_more = done & ~noise & (q > 0)
+        acts[burst_more] = _A_TX_PKT
+        finish = done & ~burst_more  # fall silent; own burst counts as activity
+
+        pending = state == 1  # transmit_pending: begin regardless of feedback
+        self.turns_taken[m] += pending
+        begin_pkt = pending & (q > 0)
+        begin_ctrl = pending & (q == 0)
+        acts[begin_pkt] = _A_TX_PKT
+        acts[begin_ctrl] = _A_TX_CTRL
+
+        waiting = state == 0
+        hear = waiting & (busy | acked)
+        advance = waiting & silent & heard
+
+        new_state = state.copy()
+        new_heard = heard.copy()
+        new_noise = noise.copy()
+        new_turn = turn.copy()
+        new_state[finish] = 0
+        new_heard[finish] = True
+        new_state[pending] = 2
+        new_noise[begin_pkt] = False
+        new_noise[begin_ctrl] = True
+        new_heard[hear] = True
+        new_turn[advance] = turn[advance] % self.n[m][advance] + 1
+        new_heard[advance] = False
+        my_turn = advance & (new_turn == self.kernel.sids[m])
+        new_state[my_turn] = 1
+
+        self.state[m] = new_state
+        self.heard[m] = new_heard
+        self.noise[m] = new_noise
+        self.turn[m] = new_turn
+        return acts
+
+    def store(self) -> None:
+        for i, algo in enumerate(self.algos):
+            algo.state = _MBTF_STATES[int(self.state[i])]
+            algo.turn = int(self.turn[i])
+            algo.heard_activity = bool(self.heard[i])
+            algo._noise_turn = bool(self.noise[i])
+            algo.stats.turns_taken = int(self.turns_taken[i])
+            algo.stats.packets_sent = int(self.packets_sent[i])
+            algo.stats.empty_signals_sent = int(self.empty_signals[i])
+            algo.stats.retries = int(self.retries[i])
+
+
+_KSEL_STATES = ("election", "observe", "finished")
+_ABS_STATES = ("wait_silence", "listen_threshold", "transmitted")
+
+
+class KSelectionProgram(AlgorithmProgram):
+    """k-selection: the outer observe/re-enter machine and the inner ABS
+    core both become int8 state arrays; the asymmetric listening
+    thresholds are precomputed per member.  Members in ``election``
+    state always correspond to a live ``AbsCore`` with ``outcome is
+    None`` (the wrapper nulls the core on every exit), so :meth:`store`
+    can reconstruct cores from the arrays alone.
+    """
+
+    @classmethod
+    def check(cls, fleet) -> Optional[str]:
+        for algo in fleet:
+            core = algo.core
+            if core is not None and (
+                core.threshold0_override is not None
+                or core.threshold1_override is not None
+            ):
+                return (
+                    "KSelection with ABS threshold overrides is "
+                    "object-path only"
+                )
+        return None
+
+    def load(self) -> None:
+        from ..analysis.bounds import (
+            abs_listen_threshold_bit0,
+            abs_listen_threshold_bit1,
+        )
+
+        algos = self.algos
+        kindex = {name: code for code, name in enumerate(_KSEL_STATES)}
+        aindex = {name: code for code, name in enumerate(_ABS_STATES)}
+        n = len(algos)
+        self.ks = np.array([kindex[a.state] for a in algos], dtype=np.int8)
+        self.wins = np.array([a.wins_observed for a in algos], dtype=np.int64)
+        self.k = np.array([a.k for a in algos], dtype=np.int64)
+        self.rank = np.array(
+            [-1 if a.rank is None else a.rank for a in algos], dtype=np.int64
+        )
+        self.saw_ack = np.array([a.saw_ack for a in algos], dtype=bool)
+        self.abs_state = np.zeros(n, dtype=np.int8)
+        self.phase = np.zeros(n, dtype=np.int64)
+        self.silent = np.zeros(n, dtype=np.int64)
+        self.threshold = np.zeros(n, dtype=np.int64)
+        self.slots_used = np.zeros(n, dtype=np.int64)
+        self.t0 = np.zeros(n, dtype=np.int64)
+        self.t1 = np.zeros(n, dtype=np.int64)
+        for i, algo in enumerate(algos):
+            core = algo.core
+            if core is not None:
+                self.abs_state[i] = aindex[core.state]
+                self.phase[i] = core.phase
+                self.silent[i] = core.silent_heard
+                self.threshold[i] = core.threshold
+                self.slots_used[i] = core.slots_used
+                self.t0[i] = core._threshold0
+                self.t1[i] = core._threshold1
+            else:
+                upper = as_time(algo.max_slot_length)
+                self.t0[i] = abs_listen_threshold_bit0(upper)
+                self.t1[i] = abs_listen_threshold_bit1(upper)
+
+    def step(self, m, fb, q, new_index):
+        ks = self.ks[m]
+        ast = self.abs_state[m]
+        phase = self.phase[m]
+        silent = self.silent[m]
+        threshold = self.threshold[m]
+        used = self.slots_used[m]
+        wins = self.wins[m]
+        rank = self.rank[m]
+        saw = self.saw_ack[m]
+        sids = self.kernel.sids[m]
+        sil = fb == _F_SILENCE
+        busy = fb == _F_BUSY
+        acked = fb == _F_ACK
+
+        electing = ks == 0
+        used = used + electing  # AbsCore.step: slots_used += 1
+        a0 = electing & (ast == 0)
+        a1 = electing & (ast == 1)
+        a2 = electing & (ast == 2)
+        if bool(np.any(a2 & sil)):
+            raise ProtocolError(
+                "channel reported silence for a slot this station "
+                "transmitted in — broken channel model"
+            )
+        observing = ks == 1
+
+        # Every win counted this step, in wrapper terms: elimination by
+        # ack (boxes (1)/(3)/(4)), winning (box (5)), or an observing
+        # station hearing the round's first ack.
+        w_ack = a0 & acked
+        l_ack = a1 & acked
+        x_ack = a2 & acked
+        ob_ack = observing & acked & ~saw
+        win = w_ack | l_ack | x_ack | ob_ack
+        wins = wins + win
+        rank = np.where(x_ack, wins, rank)  # rank = wins_observed + 1
+        finished = win & (wins >= self.k[m])
+
+        new_ks = ks.copy()
+        new_saw = saw.copy()
+        new_ks[finished] = 2
+        to_observe_ack = (w_ack | l_ack) & ~finished
+        to_observe_quiet = (a1 & busy) | (x_ack & ~finished)
+        new_ks[to_observe_ack | to_observe_quiet] = 1
+        new_saw[to_observe_ack] = True
+        new_saw[to_observe_quiet] = False
+        new_saw[ob_ack & ~finished] = True
+
+        # ABS inner transitions (non-terminal ones).
+        arm = a0 & sil  # box (1) -> boxes (3)/(4)
+        bit = (sids >> phase) & 1
+        threshold = np.where(
+            arm, np.where(bit == 1, self.t1[m], self.t0[m]), threshold
+        )
+        silent_n = np.where(arm, 0, silent)
+        ast_n = np.where(arm, 1, ast)
+        count = a1 & sil
+        silent_n = silent_n + count
+        fire = count & (silent_n >= threshold)  # box (5): transmit
+        ast_n = np.where(fire, 2, ast_n)
+        next_phase = a2 & busy  # collision: next bit, back to box (1)
+        phase = phase + next_phase
+        ast_n = np.where(next_phase, 0, ast_n)
+
+        # Observe: the round-ending silence; unranked stations re-enter
+        # with a *fresh* core.
+        round_over = observing & sil & saw
+        new_saw[round_over] = False
+        reenter = round_over & (rank < 0)
+        new_ks[reenter] = 0
+        ast_n = np.where(reenter, 0, ast_n)
+        phase = np.where(reenter, 0, phase)
+        silent_n = np.where(reenter, 0, silent_n)
+        used = np.where(reenter, 0, used)
+
+        acts = np.zeros(len(m), dtype=np.int8)
+        acts[fire] = _A_TX_CTRL  # KSelection cores never carry packets
+
+        self.ks[m] = new_ks
+        self.abs_state[m] = ast_n
+        self.phase[m] = phase
+        self.silent[m] = silent_n
+        self.threshold[m] = threshold
+        self.slots_used[m] = used
+        self.wins[m] = wins
+        self.rank[m] = rank
+        self.saw_ack[m] = new_saw
+        return acts
+
+    def store(self) -> None:
+        from ..algorithms.abs_leader import AbsCore
+
+        for i, algo in enumerate(self.algos):
+            algo.state = _KSEL_STATES[int(self.ks[i])]
+            algo.wins_observed = int(self.wins[i])
+            rank = int(self.rank[i])
+            algo.rank = None if rank < 0 else rank
+            algo.saw_ack = bool(self.saw_ack[i])
+            if self.ks[i] == 0:
+                core = algo.core
+                if core is None:
+                    core = AbsCore(
+                        station_id=algo.station_id,
+                        max_slot_length=algo.max_slot_length,
+                    )
+                    algo.core = core
+                core.state = _ABS_STATES[int(self.abs_state[i])]
+                core.phase = int(self.phase[i])
+                core.silent_heard = int(self.silent[i])
+                core.threshold = int(self.threshold[i])
+                core.slots_used = int(self.slots_used[i])
+            else:
+                algo.core = None
+
+
+def _register_builtin_algorithms() -> None:
+    """Bind programs to algorithm classes, tolerating partial installs."""
+    from ..algorithms.aloha import SlottedAloha
+    from ..algorithms.k_selection import KSelection
+    from ..algorithms.mbtf import MBTFLike
+    from ..algorithms.round_robin import RRW, NaiveTDMA
+
+    BATCH_ALGORITHMS[SlottedAloha] = SlottedAlohaProgram
+    BATCH_ALGORITHMS[NaiveTDMA] = NaiveTDMAProgram
+    BATCH_ALGORITHMS[RRW] = RRWProgram
+    BATCH_ALGORITHMS[MBTFLike] = MBTFLikeProgram
+    BATCH_ALGORITHMS[KSelection] = KSelectionProgram
+
+
+# ----------------------------------------------------------------------
+# Schedule programs
+# ----------------------------------------------------------------------
+
+
+class _ConstantSchedule(ScheduleProgram):
+    """Shared body for adversaries producing one fixed length everywhere."""
+
+    def _constant_length(self):
+        raise NotImplementedError
+
+    def load(self) -> None:
+        self.ticks = self._ticks(self._constant_length())
+
+    def lengths(self, m, new_index):
+        return np.full(len(m), self.ticks, dtype=np.int64)
+
+
+class SynchronousProgram(_ConstantSchedule):
+    def _constant_length(self):
+        from fractions import Fraction
+
+        return Fraction(1)
+
+
+class FixedLengthProgram(_ConstantSchedule):
+    def _constant_length(self):
+        return self.adversary.length
+
+
+class PerStationFixedProgram(ScheduleProgram):
+    def load(self) -> None:
+        table = self.adversary.lengths
+        ticks = np.empty(len(self.kernel.sids_list), dtype=np.int64)
+        for i, sid in enumerate(self.kernel.sids_list):
+            if sid not in table:
+                raise ConfigurationError(
+                    f"PerStationFixed has no length for station {sid}"
+                )
+            ticks[i] = self._ticks(table[sid])
+        self.ticks = ticks
+
+    def lengths(self, m, new_index):
+        return self.ticks[m]
+
+
+class _PatternSchedule(ScheduleProgram):
+    """Shared body for per-station cyclic patterns: a padded 2-D tick
+    table plus per-station pattern lengths, indexed by slot number."""
+
+    def _pattern_for(self, sid: int):
+        raise NotImplementedError
+
+    def load(self) -> None:
+        sids = self.kernel.sids_list
+        patterns = [self._pattern_for(sid) for sid in sids]
+        self.plen = np.array([len(p) for p in patterns], dtype=np.int64)
+        width = int(self.plen.max())
+        table = np.zeros((len(sids), width), dtype=np.int64)
+        for i, pattern in enumerate(patterns):
+            table[i, : len(pattern)] = [self._ticks(x) for x in pattern]
+        self.table = table
+
+    def lengths(self, m, new_index):
+        return self.table[m, new_index % self.plen[m]]
+
+
+class CyclicPatternProgram(_PatternSchedule):
+    def _pattern_for(self, sid: int):
+        patterns = self.adversary.patterns
+        if sid not in patterns:
+            raise ConfigurationError(
+                f"CyclicPattern has no pattern for station {sid}"
+            )
+        return patterns[sid]
+
+
+class WorstCaseCyclicProgram(_PatternSchedule):
+    def _pattern_for(self, sid: int):
+        adversary = self.adversary
+        return adversary.odd_pattern if sid % 2 else adversary.even_pattern
+
+
+class TableDrivenProgram(ScheduleProgram):
+    def load(self) -> None:
+        table = self.adversary.table
+        self.default_ticks = self._ticks(self.adversary.default)
+        self.rows: List[tuple] = []
+        self.row_len = np.zeros(len(self.kernel.sids_list), dtype=np.int64)
+        for i, sid in enumerate(self.kernel.sids_list):
+            row = tuple(self._ticks(x) for x in table.get(sid, ()))
+            self.rows.append(row)
+            self.row_len[i] = len(row)
+
+    def lengths(self, m, new_index):
+        out = np.full(len(m), self.default_ticks, dtype=np.int64)
+        inside = new_index < self.row_len[m]
+        for j in np.nonzero(inside)[0]:
+            out[j] = self.rows[int(m[j])][int(new_index[j])]
+        return out
+
+
+class RandomUniformProgram(ScheduleProgram):
+    """Draws stay scalar calls on the adversary's own ``random.Random``,
+    one per member in ascending station-id order — the object path's
+    exact draw order within a tick."""
+
+    def load(self) -> None:
+        adversary = self.adversary
+        lattice_d = self.kernel.tb.denominator
+        self.steps = adversary._steps
+        # 1 + k/den in ticks: D + k * (D // den); D is an lcm multiple
+        # of den by lattice construction, so the division is exact.
+        self.base = lattice_d
+        self.per_step = lattice_d // adversary._denominator
+
+    def lengths(self, m, new_index):
+        rng = self.adversary._rng
+        steps = self.steps
+        out = np.empty(len(m), dtype=np.int64)
+        for j in range(len(m)):
+            out[j] = self.base + rng.randint(0, steps) * self.per_step
+        return out
+
+
+def _register_builtin_schedules() -> None:
+    from ..timing.adversary import (
+        CyclicPattern,
+        FixedLength,
+        PerStationFixed,
+        RandomUniform,
+        Synchronous,
+        TableDriven,
+        WorstCaseCyclic,
+    )
+
+    BATCH_SCHEDULES[Synchronous] = SynchronousProgram
+    BATCH_SCHEDULES[FixedLength] = FixedLengthProgram
+    BATCH_SCHEDULES[PerStationFixed] = PerStationFixedProgram
+    BATCH_SCHEDULES[CyclicPattern] = CyclicPatternProgram
+    BATCH_SCHEDULES[WorstCaseCyclic] = WorstCaseCyclicProgram
+    BATCH_SCHEDULES[TableDriven] = TableDrivenProgram
+    BATCH_SCHEDULES[RandomUniform] = RandomUniformProgram
+
+
+_register_builtin_algorithms()
+_register_builtin_schedules()
+
+
+# ----------------------------------------------------------------------
+# The kernel
+# ----------------------------------------------------------------------
+
+
+class BatchKernel:
+    """One simulator's array state + the per-tick batched event loop.
+
+    Constructed once per simulator (``Simulator._batch_kernel``); every
+    ``run`` call re-snapshots canonical state, so object-engine steps
+    may happen between kernel runs.
+    """
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.tb = sim.timebase
+        self.max_dur = sim._max_slot_internal
+        self.sids_list: List[int] = list(sim.station_ids)
+        self.sids = np.array(self.sids_list, dtype=np.int64)
+        self.algos = [sim.stations[sid].algorithm for sid in self.sids_list]
+        self.queues = [sim.stations[sid].queue for sid in self.sids_list]
+        algorithm_cls = type(self.algos[0])
+        self.program: AlgorithmProgram = BATCH_ALGORITHMS[algorithm_cls](self)
+        self.schedule: ScheduleProgram = BATCH_SCHEDULES[
+            type(sim.slot_adversary)
+        ](self, sim.slot_adversary)
+
+    # -- canonical <-> array sync ------------------------------------
+
+    def _load(self) -> None:
+        sim = self.sim
+        runtimes = [sim.stations[sid] for sid in self.sids_list]
+        self.slot_index = np.array(
+            [rt.slot_index for rt in runtimes], dtype=np.int64
+        )
+        self.slot_start = np.array(
+            [rt.slot_start for rt in runtimes], dtype=np.int64
+        )
+        self.slot_end = np.array(
+            [rt.slot_end for rt in runtimes], dtype=np.int64
+        )
+        self.slots_elapsed = np.array(
+            [rt.slots_elapsed for rt in runtimes], dtype=np.int64
+        )
+        self.action_code = np.array(
+            [
+                _A_LISTEN
+                if not rt.action.is_transmit
+                else (_A_TX_PKT if rt.action.carries_packet else _A_TX_CTRL)
+                for rt in runtimes
+            ],
+            dtype=np.int8,
+        )
+        self.qlen = np.array([len(q) for q in self.queues], dtype=np.int64)
+        self._pending_nonempty = {
+            sid for sid, pending in sim._pending_arrivals.items() if pending
+        }
+        # Frontier: one entry per distinct end tick, holding ascending
+        # fleet-index arrays.  Replaces the per-station (end, sid) heap
+        # while the kernel runs; _store rebuilds the canonical heap.
+        order = np.argsort(self.slot_end, kind="stable")
+        sorted_ends = self.slot_end[order]
+        ticks, first = np.unique(sorted_ends, return_index=True)
+        self._groups: Dict[int, List] = {}
+        self._tick_heap: List[int] = []
+        for tick, piece in zip(ticks, np.split(order, first[1:])):
+            self._push(int(tick), piece)
+        self.program.load()
+        self.schedule.load()
+
+    def _store(self) -> None:
+        sim = self.sim
+        for i, sid in enumerate(self.sids_list):
+            rt = sim.stations[sid]
+            start = int(self.slot_start[i])
+            end = int(self.slot_end[i])
+            rt.slot_index = int(self.slot_index[i])
+            rt.slot_start = start
+            rt.slot_end = end
+            rt.slot_interval = Interval(start, end)
+            code = int(self.action_code[i])
+            rt.action = _ACTIONS[code]
+            rt.aboard_packet = (
+                self.queues[i].head() if code == _A_TX_PKT else None
+            )
+            rt.slots_elapsed = int(self.slots_elapsed[i])
+        heap = [
+            (int(self.slot_end[i]), sid)
+            for i, sid in enumerate(self.sids_list)
+        ]
+        heapq.heapify(heap)
+        sim._event_heap = heap
+        self.program.store()
+
+    def _push(self, tick: int, members) -> None:
+        group = self._groups.get(tick)
+        if group is None:
+            self._groups[tick] = [members]
+            heapq.heappush(self._tick_heap, tick)
+        else:
+            group.append(members)
+
+    # -- the loop -----------------------------------------------------
+
+    def run(
+        self,
+        limit_internal: Optional[int],
+        limit_time,
+        max_events: Optional[int],
+        check_success: bool,
+    ) -> None:
+        sim = self.sim
+        self._load()
+        try:
+            while True:
+                if (
+                    max_events is not None
+                    and sim.events_processed >= max_events
+                ):
+                    return
+                if not self._tick_heap:
+                    raise SimulationError(
+                        "event heap empty — stations always reschedule"
+                    )
+                tick = self._tick_heap[0]
+                if limit_internal is not None and tick > limit_internal:
+                    sim._now_internal = limit_internal
+                    sim._now_exact = limit_time
+                    return
+                heapq.heappop(self._tick_heap)
+                pieces = self._groups.pop(tick)
+                if len(pieces) == 1:
+                    members = pieces[0]
+                else:
+                    members = np.sort(np.concatenate(pieces))
+                stop_after = False
+                if check_success and sim.channel.finalized_successes(tick) > 0:
+                    # The object loop stops after exactly one event at
+                    # the first tick with a finalized success; a length-1
+                    # prefix in ascending-id order is that same event.
+                    if len(members) > 1:
+                        self._push(tick, members[1:])
+                    members = members[:1]
+                    stop_after = True
+                if max_events is not None:
+                    room = max_events - sim.events_processed
+                    if len(members) > room:
+                        self._push(tick, members[room:])
+                        members = members[:room]
+                self._process_tick(tick, members)
+                if stop_after:
+                    return
+        finally:
+            self._store()
+
+    def _process_tick(self, tick: int, m) -> None:
+        sim = self.sim
+        tb = self.tb
+        sim._now_internal = tick
+        sim._now_exact = None
+        if tick >= sim._arrivals_not_before:
+            injected = sim._pump_arrivals(tick)
+            if injected:
+                self._pending_nonempty.update(injected)
+
+        fb, acked = self._feedback(m, tick)
+        codes = self.action_code[m]
+
+        deliver = acked & (codes == _A_TX_PKT)
+        if bool(np.any(deliver)):
+            tick_public = tb.to_public(tick)
+            trace = sim.trace
+            for raw in m[deliver]:
+                i = int(raw)
+                packet = self.queues[i].pop_delivered()
+                packet.mark_delivered(
+                    at=tick_public,
+                    cost=tb.to_public(tick - int(self.slot_start[i])),
+                )
+                sim._delivered_packets.append(packet)
+                sim._total_backlog -= 1
+                trace.on_backlog_change(tick_public, sim._total_backlog)
+                self.qlen[i] -= 1
+
+        if self._pending_nonempty:
+            # Arrivals become visible at the owner's own slot boundary.
+            # Every pending packet has arrival tick <= now (the pump ran
+            # with upto=now), so members drain their whole pending list.
+            member_sids = self.sids[m]
+            drained = []
+            for sid in self._pending_nonempty:
+                pos = int(np.searchsorted(member_sids, sid))
+                if pos < len(member_sids) and member_sids[pos] == sid:
+                    i = int(m[pos])
+                    pending = sim._pending_arrivals[sid]
+                    queue = self.queues[i]
+                    for _at, packet in pending:
+                        queue.push(packet)
+                    self.qlen[i] += len(pending)
+                    pending.clear()
+                    drained.append(sid)
+            for sid in drained:
+                self._pending_nonempty.discard(sid)
+
+        self.slots_elapsed[m] += 1
+        new_index = self.slot_index[m] + 1
+        q = self.qlen[m]
+        acts = self.program.step(m, fb, q, new_index)
+
+        bad = (acts == _A_TX_PKT) & (q == 0)
+        if bool(np.any(bad)):
+            i = int(m[int(np.argmax(bad))])
+            raise ProtocolError(
+                f"station {self.sids_list[i]}: "
+                f"{type(self.algos[i]).__name__} transmitted a packet "
+                "from an empty queue"
+            )
+
+        lengths = self.schedule.lengths(m, new_index)
+        ends = tick + lengths
+        prune_k = 0
+        if not sim.keep_channel_history:
+            after = sim.events_processed + len(m)
+            last_boundary = after - after % _PRUNE_EVERY
+            if last_boundary > sim.events_processed:
+                prune_k = last_boundary - sim.events_processed
+                old_member_starts = self.slot_start[m].copy()
+        self.slot_index[m] = new_index
+        self.slot_start[m] = tick
+        self.slot_end[m] = ends
+        self.action_code[m] = acts
+
+        transmitting = acts != _A_LISTEN
+        if bool(np.any(transmitting)):
+            channel = sim.channel
+            tx_members = m[transmitting]
+            tx_ends = ends[transmitting]
+            tx_codes = acts[transmitting]
+            for j in range(len(tx_members)):
+                i = int(tx_members[j])
+                aboard = (
+                    self.queues[i].head()
+                    if tx_codes[j] == _A_TX_PKT
+                    else None
+                )
+                channel.begin_transmission(
+                    self.sids_list[i],
+                    Interval(tick, int(tx_ends[j])),
+                    aboard,
+                )
+
+        sim.events_processed += len(m)
+        if prune_k:
+            # The object loop prunes while processing the member that
+            # lands on a _PRUNE_EVERY boundary, when only the first
+            # ``prune_k`` members of this group have opened their next
+            # slot.  Records added by later members all end after
+            # ``tick`` >= low-water, so one prune with that boundary's
+            # snapshot retains the identical record set.
+            starts = self.slot_start.copy()
+            starts[m[prune_k:]] = old_member_starts[prune_k:]
+            sim.channel._prune_internal(int(starts.min()))
+
+        order = np.argsort(ends, kind="stable")
+        sorted_ends = ends[order]
+        sorted_members = m[order]
+        ticks, first = np.unique(sorted_ends, return_index=True)
+        for end, piece in zip(ticks, np.split(sorted_members, first[1:])):
+            self._push(int(end), piece)
+
+    def _feedback(self, m, tick: int):
+        """Feedback codes for every member slot ending at ``tick``.
+
+        Mirrors ``Channel.feedback_for`` over the whole batch: one
+        reverse scan of the record list, stopping once records can no
+        longer reach even the earliest member slot.
+        """
+        starts = self.slot_start[m]
+        acked = np.zeros(len(m), dtype=bool)
+        busy = np.zeros(len(m), dtype=bool)
+        busy_all = False
+        horizon = int(starts.min()) - self.max_dur
+        for record in reversed(self.sim.channel._transmissions):
+            interval = record.interval
+            start = interval.start
+            if start <= horizon:
+                break
+            end = interval.end
+            if end <= tick:
+                hit = starts < end
+                if not record.overlapped:
+                    acked |= hit
+                busy |= hit
+            elif start < tick:
+                # Still in flight at tick: overlaps every member slot.
+                busy_all = True
+        if busy_all:
+            fb = np.where(acked, _F_ACK, _F_BUSY).astype(np.int8)
+        else:
+            fb = np.where(
+                acked, _F_ACK, np.where(busy, _F_BUSY, _F_SILENCE)
+            ).astype(np.int8)
+        return fb, acked

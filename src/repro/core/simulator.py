@@ -138,6 +138,17 @@ class Simulator:
             :class:`~repro.core.timebase.FractionTimebase` instance is
             used as given.  Observable results are bit-for-bit
             identical across timebases.
+        engine: Inner-loop implementation.  ``"auto"`` (default) uses
+            the NumPy whole-fleet kernel (:mod:`repro.core.batch`) when
+            the run is batch-eligible — on the tick lattice, no
+            per-event observers, vector programs registered for the
+            slot adversary and the (homogeneous) station algorithm
+            class — and the per-object event loop otherwise, recording
+            the demotion reason in :attr:`engine_detail`.  ``"batch"``
+            demands the kernel and raises :class:`ConfigurationError`
+            naming the blocker; ``"object"`` forces the per-object
+            loop.  Observable results are bit-for-bit identical across
+            engines.
     """
 
     def __init__(
@@ -152,6 +163,7 @@ class Simulator:
         probes: Optional[ProbeBus] = None,
         profiler=None,
         timebase: Union[str, Timebase] = "auto",
+        engine: str = "auto",
     ) -> None:
         self.keep_channel_history = keep_channel_history
         if isinstance(algorithms, Mapping):
@@ -214,14 +226,27 @@ class Simulator:
                 for _ in range(initial_packets):
                     self._inject(sid, zero)
 
+        # Engine resolution happens last: eligibility inspects the
+        # fully-constructed simulator (timebase, trace, fleet).
+        self._engine_requested = engine
+        self._engine, self._engine_detail = self._resolve_engine(engine)
+        self._batch_kernel = None
+
     # ------------------------------------------------------------------
     # Timebase selection
     # ------------------------------------------------------------------
 
     def _resolve_timebase(self, requested: Union[str, Timebase]) -> Timebase:
+        # ``_timebase_detail`` records why the run is NOT on a lattice
+        # (None when it is); engine auto-detection folds it into its
+        # own demotion reason.
+        self._timebase_detail: Optional[str] = None
         if isinstance(requested, (FractionTimebase, TickLattice)):
+            if not requested.is_lattice:
+                self._timebase_detail = "a FractionTimebase instance was supplied"
             return requested
         if requested == "fraction":
+            self._timebase_detail = "timebase='fraction' was requested"
             return FRACTION_TIMEBASE
         if requested not in ("auto", "lattice"):
             raise ConfigurationError(
@@ -235,6 +260,7 @@ class Simulator:
             raise ConfigurationError(
                 f"timebase='lattice' requested but {why_not}"
             )
+        self._timebase_detail = why_not
         return FRACTION_TIMEBASE
 
     def _detect_lattice(self):
@@ -268,6 +294,28 @@ class Simulator:
         return TickLattice(denominator), None
 
     # ------------------------------------------------------------------
+    # Engine selection
+    # ------------------------------------------------------------------
+
+    def _resolve_engine(self, requested: str):
+        """Pick the inner loop; return ``(engine, demotion_detail)``."""
+        if requested == "object":
+            return "object", None
+        if requested not in ("auto", "batch"):
+            raise ConfigurationError(
+                "engine must be 'auto', 'batch' or 'object', "
+                f"got {requested!r}"
+            )
+        from .batch import batch_blocker
+
+        blocker = batch_blocker(self)
+        if blocker is None:
+            return "batch", None
+        if requested == "batch":
+            raise ConfigurationError(f"engine='batch' requested but {blocker}")
+        return "object", blocker
+
+    # ------------------------------------------------------------------
     # Public accessors (also the adversaries' observation surface)
     # ------------------------------------------------------------------
 
@@ -275,6 +323,21 @@ class Simulator:
     def timebase(self) -> Timebase:
         """The run's internal time representation (read-only)."""
         return self._timebase
+
+    @property
+    def engine(self) -> str:
+        """The resolved inner loop, ``"batch"`` or ``"object"``."""
+        return self._engine
+
+    @property
+    def engine_requested(self) -> str:
+        """The ``engine=`` argument the simulator was constructed with."""
+        return self._engine_requested
+
+    @property
+    def engine_detail(self) -> Optional[str]:
+        """Why ``engine="auto"`` demoted to the object path (else None)."""
+        return self._engine_detail
 
     @property
     def now(self) -> Time:
@@ -347,7 +410,7 @@ class Simulator:
                 callback(event)
         return packet
 
-    def _pump_arrivals(self, upto) -> None:
+    def _pump_arrivals(self, upto) -> List[int]:
         """Pull all arrivals with time <= ``upto`` (internal units).
 
         The source speaks public time: it receives the exact Fraction
@@ -356,11 +419,15 @@ class Simulator:
         instant, events strictly before the hint skip the poll: for
         integer ticks ``upto < ceil(hint * D)`` iff ``upto/D < hint``,
         so the skip is exact.
+
+        Returns the station ids injected into (with multiplicity), so
+        the batch kernel can track which pending lists became nonempty.
         """
+        injected: List[int] = []
         if upto < self._arrivals_not_before:
-            return
+            return injected
         if self.arrival_source is None:
-            return
+            return injected
         timebase = self._timebase
         upto_public = timebase.to_public(upto)
         for at, station_id in self.arrival_source.arrivals_until(self, upto_public):
@@ -381,12 +448,14 @@ class Simulator:
                     "the Simulator with timebase='fraction'"
                 ) from err
             self._inject(station_id, internal)
+            injected.append(station_id)
         hint_fn = self._arrival_hint
         if hint_fn is not None:
             hint = hint_fn()
             self._arrivals_not_before = (
                 _NEVER if hint is None else timebase.ceil_internal(hint)
             )
+        return injected
 
     def _deliver_pending(self, runtime: StationRuntime, upto) -> None:
         """Move arrivals with time <= ``upto`` into the station's queue.
@@ -669,12 +738,25 @@ class Simulator:
         ``until_time`` stops once the next event would exceed the given
         time (so all slots *ending* by that time are processed).
         ``max_events`` bounds the number of slot-end events.
-        ``stop_when`` is evaluated after every processed event.
+        ``stop_when`` is evaluated after every processed event (so it
+        forces the per-object loop: on a batch-engine simulator an
+        ``"auto"``-resolved run silently falls back, a forced
+        ``engine="batch"`` run raises).
         Returns ``self`` for chaining.
         """
         if until_time is None and max_events is None and stop_when is None:
             raise ConfigurationError(
                 "run() needs at least one stopping condition"
+            )
+        if (
+            stop_when is not None
+            and self._engine == "batch"
+            and self._engine_requested == "batch"
+        ):
+            raise ConfigurationError(
+                "stop_when is evaluated per event and requires the object "
+                "engine; construct the Simulator with engine='auto' or "
+                "engine='object'"
             )
         limit_time = as_time(until_time) if until_time is not None else None
         limit_internal = (
@@ -686,6 +768,11 @@ class Simulator:
             self._start()
             if stop_when is not None and stop_when(self):
                 return self
+        if self._engine == "batch" and stop_when is None:
+            self._batch_run(
+                limit_internal, limit_time, max_events, check_success=False
+            )
+            return self
         while True:
             if max_events is not None and self.events_processed >= max_events:
                 return self
@@ -717,13 +804,35 @@ class Simulator:
         channel = self.channel
         channel.start_success_tracking()
 
-        def succeeded(sim: "Simulator") -> bool:
-            return channel.finalized_successes(sim._now_internal) > 0
+        if self._engine == "batch":
+            if not self._started:
+                self._start()
+            self._batch_run(None, None, max_events, check_success=True)
+        else:
 
-        self.run(max_events=max_events, stop_when=succeeded)
+            def succeeded(sim: "Simulator") -> bool:
+                return channel.finalized_successes(sim._now_internal) > 0
+
+            self.run(max_events=max_events, stop_when=succeeded)
         if channel.finalized_successes(self._now_internal) == 0:
             return None
         return channel.first_finalized_success_end
+
+    def _batch_run(
+        self, limit_internal, limit_time, max_events, check_success: bool
+    ) -> None:
+        """Hand the run to the vectorized kernel (see repro.core.batch).
+
+        The kernel snapshots canonical state into arrays on entry and
+        writes it back on exit, so object-engine steps may freely
+        interleave with kernel runs on the same simulator.
+        """
+        kernel = self._batch_kernel
+        if kernel is None:
+            from .batch import BatchKernel
+
+            kernel = self._batch_kernel = BatchKernel(self)
+        kernel.run(limit_internal, limit_time, max_events, check_success)
 
     def slots_elapsed(self, station_id: int) -> int:
         """Completed slots of one station (the paper's cost measure for SST)."""

@@ -51,6 +51,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "DEFAULT_CASES",
+    "FLEET_CASES",
     "PerfCase",
     "geometric_mean_speedup",
     "run_perf",
@@ -84,6 +85,7 @@ class PerfCase:
     kind: str = "dynamic"  # "dynamic" | "sst"
     elections: int = 40
     quick_elections: int = 8
+    schedule: str = "worst"
 
 
 #: The default lattice-eligible suite (the acceptance set for the
@@ -117,6 +119,32 @@ DEFAULT_CASES: Tuple[PerfCase, ...] = (
 )
 
 
+#: Fleet-scaling suite: the same lattice-eligible token-ring scenario at
+#: n = 1e2 .. 1e5 stations, run once on each engine (object vs the
+#: vectorized batch kernel) with parity asserted.  The n=1e4 row is the
+#: headline: its ``win`` cell is "yes" only while the batch kernel beats
+#: the object loop by :data:`FLEET_WIN_MIN` — an exact-compare cell, so
+#: ``repro bench diff`` fails the moment the vectorized win rots, at any
+#: tolerance.  Horizons shrink as n grows to hold events per case (and
+#: the object-path wall time) roughly constant.
+FLEET_CASES: Tuple[PerfCase, ...] = (
+    PerfCase(name="fleet-rrw-n1e2", algorithm="rrw", n=100,
+             schedule="sync", horizon=1200, quick_horizon=300),
+    PerfCase(name="fleet-rrw-n1e3", algorithm="rrw", n=1_000,
+             schedule="sync", horizon=150, quick_horizon=50),
+    PerfCase(name="fleet-rrw-n1e4", algorithm="rrw", n=10_000,
+             schedule="sync", horizon=16, quick_horizon=12),
+    PerfCase(name="fleet-rrw-n1e5", algorithm="rrw", n=100_000,
+             schedule="sync", horizon=6, quick_horizon=2),
+)
+
+#: The policed batch-over-object speedup at the fleet headline (n=1e4).
+FLEET_WIN_MIN = 10.0
+
+#: The fleet case whose ``win`` cell is policed.
+FLEET_HEADLINE_N = 10_000
+
+
 def _case_spec(case: PerfCase):
     from ..scenarios import ScenarioSpec
 
@@ -124,7 +152,7 @@ def _case_spec(case: PerfCase):
         algorithm=case.algorithm,
         n=case.n,
         max_slot=case.max_slot,
-        schedule="worst",
+        schedule=case.schedule,
         rho=case.rho,
         seed=case.seed,
         horizon=max(case.horizon, 1),
@@ -144,9 +172,16 @@ def _stats_tuple(sim) -> Tuple[Any, ...]:
 
 
 def _run_dynamic(case: PerfCase, timebase: str, horizon: int):
-    """One timed dynamic run; returns (fingerprint, events, wall_s)."""
+    """One timed dynamic run; returns (fingerprint, events, wall_s).
+
+    The engine is pinned to the object loop: this suite isolates the
+    timebase effect, and letting ``engine="auto"`` promote eligible
+    cases to the batch kernel would fold the vectorization win into the
+    fraction-vs-lattice ratio.  The batch kernel has its own suite
+    (:data:`FLEET_CASES`).
+    """
     spec = _case_spec(case)
-    sim = spec.build(timebase=timebase)
+    sim = spec.build(timebase=timebase, engine="object")
     began = perf_counter()
     sim.run(until_time=horizon)
     wall = perf_counter() - began
@@ -170,7 +205,7 @@ def _run_sst(case: PerfCase, timebase: str, elections: int):
     slots = []
     began = perf_counter()
     for _ in range(elections):
-        sim = spec.build(timebase=timebase)
+        sim = spec.build(timebase=timebase, engine="object")
         end = sim.run_until_success(max_events=5_000_000)
         events += sim.events_processed
         ends.append(end)
@@ -206,6 +241,97 @@ def _run_case(
                 f"{timebase} timebase"
             )
     return best
+
+
+def _run_fleet(case: PerfCase, engine: str, horizon: int):
+    """One timed fleet run on one engine; construction excluded.
+
+    ``sim.run(until_time=0)`` forces station setup (every station's
+    first slot) before the clock starts: that cost is identical for
+    both engines and, at n=1e5, would otherwise swamp the short
+    horizons these cases use.  The timed section still includes the
+    batch kernel's array load/store — that is a real per-run cost of
+    the fast path and the reported events/sec must own it.
+    """
+    spec = _case_spec(case)
+    sim = spec.build(engine=engine)
+    sim.run(until_time=0)
+    began = perf_counter()
+    sim.run(until_time=horizon)
+    wall = perf_counter() - began
+    sim.channel.drain_all(sim.now)
+    fingerprint = (
+        sim.events_processed,
+        sim.now,
+        sim.total_backlog,
+        sim.trace.max_backlog,
+        tuple(p.delivered_time for p in sim.delivered_packets),
+        _stats_tuple(sim),
+    )
+    return fingerprint, sim.events_processed, wall, sim.engine
+
+
+def _run_fleet_case(case: PerfCase, engine: str, quick: bool, repeats: int):
+    """Best-of-``repeats`` timing for one fleet case on one engine."""
+    horizon = case.quick_horizon if quick else case.horizon
+    best = None
+    for _ in range(max(repeats, 1)):
+        sample = _run_fleet(case, engine, horizon)
+        if best is None or sample[2] < best[2]:
+            best = sample
+        if sample[0] != best[0]:
+            raise RuntimeError(
+                f"{case.name}: non-deterministic repeat on the "
+                f"{engine} engine"
+            )
+    return best
+
+
+def _measure_fleet(
+    suite: Sequence[PerfCase], quick: bool, repeats: int
+) -> List[Dict[str, Any]]:
+    """Object-vs-batch measurements with per-case parity asserted."""
+    measured: List[Dict[str, Any]] = []
+    for case in suite:
+        obj_fp, events, obj_s, obj_engine = _run_fleet_case(
+            case, "object", quick, repeats
+        )
+        bat_fp, bat_events, bat_s, bat_engine = _run_fleet_case(
+            case, "batch", quick, repeats
+        )
+        if obj_fp != bat_fp or events != bat_events:
+            raise RuntimeError(
+                f"{case.name}: batch/object parity violation — the "
+                "vectorized kernel changed the observable execution"
+            )
+        if (obj_engine, bat_engine) != ("object", "batch"):
+            raise RuntimeError(
+                f"{case.name}: expected object vs batch, got "
+                f"{obj_engine} vs {bat_engine}"
+            )
+        speedup = round(obj_s / bat_s, 2)
+        win = "-"
+        if case.n == FLEET_HEADLINE_N:
+            win = "yes" if speedup >= FLEET_WIN_MIN else f"NO ({speedup}x)"
+        measured.append(
+            {
+                "case": case.name,
+                "algorithm": case.algorithm,
+                "n": case.n,
+                "R": case.max_slot,
+                "work": (
+                    f"horizon {case.quick_horizon if quick else case.horizon}"
+                ),
+                "events": events,
+                "object_s": obj_s,
+                "batch_s": bat_s,
+                "object_evps": round(events / obj_s),
+                "batch_evps": round(events / bat_s),
+                "speedup": speedup,
+                "win": win,
+            }
+        )
+    return measured
 
 
 def _measure_exec_overhead(quick: bool, repeats: int) -> Dict[str, Any]:
@@ -311,14 +437,24 @@ def run_perf(
     cases: Optional[Sequence[PerfCase]] = None,
     quick: bool = False,
     repeats: Optional[int] = None,
+    fleet_cases: Optional[Sequence[PerfCase]] = None,
 ) -> Dict[str, Any]:
     """Run the suite; returns the results-form report document.
 
-    Every case is executed on both timebases and the observable
-    executions are asserted identical before any number is reported —
-    a perf result that broke parity would be worthless.
+    Every case is executed on both timebases (and every fleet case on
+    both engines) and the observable executions are asserted identical
+    before any number is reported — a perf result that broke parity
+    would be worthless.  Pass ``fleet_cases=()`` to skip the fleet
+    block (e.g. when benchmarking a custom case list).
     """
     suite = tuple(DEFAULT_CASES if cases is None else cases)
+    if fleet_cases is None:
+        # A custom `cases` list opts out of the default fleet block too:
+        # tests and ad-hoc benchmarking pass tiny cases and should not
+        # pay for 1e5-station runs they never asked for.
+        fleet_suite = FLEET_CASES if cases is None else ()
+    else:
+        fleet_suite = tuple(fleet_cases)
     if repeats is None:
         # Even quick mode takes best-of-2: a single noisy sample can
         # swing the speedup ratio past any reasonable CI tolerance.
@@ -361,6 +497,8 @@ def run_perf(
             }
         )
 
+    fleet = _measure_fleet(fleet_suite, quick, repeats)
+
     case_rows = [
         [
             row["case"],
@@ -370,21 +508,37 @@ def run_perf(
             row["work"],
             row["denominator"],
             row["events"],
+            "object",
             "ok",
         ]
         for row in measured
     ]
     geomean = round(geometric_mean_speedup(measured), 2)
-    document: Dict[str, Any] = {
-        "name": REPORT_NAME,
-        "preamble": [
-            "core perf suite: events/sec on the fraction vs tick-lattice "
-            "timebase",
-            "parity asserted per case: both paths produce identical "
-            "executions",
-            f"mode: {'quick (CI smoke)' if quick else 'full'}",
-        ],
-        "tables": [
+    tables: List[Dict[str, Any]] = [
+        {
+            "headers": [
+                "case",
+                "algorithm",
+                "n",
+                "R",
+                "work",
+                "D",
+                "events",
+                "engine",
+                "parity",
+            ],
+            "rows": case_rows,
+        },
+        {
+            "headers": ["case", "speedup"],
+            "rows": [["geomean", geomean]],
+        },
+    ]
+    if fleet:
+        # The fleet table is all exact-compare cells: deterministic
+        # event counts plus the headline "win" marker.  Machine-varying
+        # throughput and speedups live in meta["fleet"].
+        tables.append(
             {
                 "headers": [
                     "case",
@@ -392,17 +546,39 @@ def run_perf(
                     "n",
                     "R",
                     "work",
-                    "D",
                     "events",
+                    "engines",
                     "parity",
+                    f"win>={FLEET_WIN_MIN:g}x",
                 ],
-                "rows": case_rows,
-            },
-            {
-                "headers": ["case", "speedup"],
-                "rows": [["geomean", geomean]],
-            },
+                "rows": [
+                    [
+                        row["case"],
+                        row["algorithm"],
+                        row["n"],
+                        row["R"],
+                        row["work"],
+                        row["events"],
+                        "object/batch",
+                        "ok",
+                        row["win"],
+                    ]
+                    for row in fleet
+                ],
+            }
+        )
+    document: Dict[str, Any] = {
+        "name": REPORT_NAME,
+        "preamble": [
+            "core perf suite: events/sec on the fraction vs tick-lattice "
+            "timebase",
+            "fleet suite: events/sec on the object vs vectorized batch "
+            "engine at n = 1e2..1e5",
+            "parity asserted per case: both paths produce identical "
+            "executions",
+            f"mode: {'quick (CI smoke)' if quick else 'full'}",
         ],
+        "tables": tables,
         "meta": {
             "quick": quick,
             "repeats": repeats,
@@ -411,7 +587,9 @@ def run_perf(
             # perf-smoke job asserts overhead stays under 5%.
             "exec_overhead": _measure_exec_overhead(quick, repeats),
             "wall_s": round(
-                sum(r["fraction_s"] + r["lattice_s"] for r in measured), 3
+                sum(r["fraction_s"] + r["lattice_s"] for r in measured)
+                + sum(r["object_s"] + r["batch_s"] for r in fleet),
+                3,
             ),
             "python": sys.version.split()[0],
             # Absolute throughput is a fact about the machine, not the
@@ -423,6 +601,14 @@ def run_perf(
                     "speedup": row["speedup"],
                 }
                 for row in measured
+            },
+            "fleet": {
+                row["case"]: {
+                    "object_ev/s": row["object_evps"],
+                    "batch_ev/s": row["batch_evps"],
+                    "speedup": row["speedup"],
+                }
+                for row in fleet
             },
         },
     }
@@ -468,6 +654,22 @@ def render_report(document: Dict[str, Any]) -> List[str]:
                         [case, cell["fraction_ev/s"], cell["lattice_ev/s"],
                          cell["speedup"]]
                         for case, cell in throughput.items()
+                    ],
+                }
+            )
+        )
+    fleet = (document.get("meta") or {}).get("fleet") or {}
+    if fleet:
+        lines.append("")
+        lines.extend(
+            _render_table(
+                {
+                    "headers": ["case", "object_ev/s", "batch_ev/s",
+                                "speedup"],
+                    "rows": [
+                        [case, cell["object_ev/s"], cell["batch_ev/s"],
+                         cell["speedup"]]
+                        for case, cell in fleet.items()
                     ],
                 }
             )

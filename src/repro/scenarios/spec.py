@@ -370,14 +370,17 @@ class ScenarioSpec:
         probes: Optional[Any] = None,
         profiler: Optional[Any] = None,
         timebase: Any = "auto",
+        engine: str = "auto",
     ) -> Simulator:
         """A ready :class:`~repro.core.simulator.Simulator` for this spec.
 
         ``timebase`` selects the simulator's internal time
         representation (``"auto"`` / ``"lattice"`` / ``"fraction"`` or
-        an adapter instance).  It is a *run* option, not part of the
-        spec: the observable execution is bit-for-bit identical either
-        way, so it never participates in serialization or cache keys.
+        an adapter instance) and ``engine`` the run loop
+        (``"auto"`` / ``"batch"`` / ``"object"``).  Both are *run*
+        options, not part of the spec: the observable execution is
+        bit-for-bit identical either way, so they never participate in
+        serialization or cache keys.
         """
         return Simulator(
             self.build_fleet(),
@@ -390,6 +393,7 @@ class ScenarioSpec:
             probes=probes,
             profiler=profiler,
             timebase=timebase,
+            engine=engine,
         )
 
     def to_cell(

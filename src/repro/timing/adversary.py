@@ -265,26 +265,38 @@ class StretchTransmitters(SlotAdversary):
         return self.max_length.denominator
 
 
-def worst_case_for(max_length: TimeLike) -> SlotAdversary:
+class WorstCaseCyclic(SlotAdversary):
     """The default adversarial schedule used by the stability benches.
 
     Per-station coprime-ish cyclic patterns spanning ``[1, R]`` — strong
-    persistent misalignment without randomness.
+    persistent misalignment without randomness.  Odd stations cycle a
+    3-pattern, even stations a 4-pattern, so relative phase between any
+    odd/even pair never repeats within 12 slots.  Use the
+    :func:`worst_case_for` factory, which degenerates to
+    :class:`Synchronous` at ``R = 1``.
     """
+
+    def __init__(self, max_length: TimeLike) -> None:
+        upper = as_time(max_length)
+        if upper < 1:
+            raise ConfigurationError(f"R must be at least 1, got {upper}")
+        self.max_length = upper
+        self.mid = (1 + upper) / 2
+        one = Fraction(1)
+        self.odd_pattern = (one, upper, self.mid)
+        self.even_pattern = (upper, one, one, self.mid)
+
+    def next_slot_length(self, sim, station_id: int, slot_index: int) -> Fraction:
+        pattern = self.odd_pattern if station_id % 2 else self.even_pattern
+        return pattern[slot_index % len(pattern)]
+
+    def lattice_denominator(self) -> int:
+        return lcm(self.max_length.denominator, self.mid.denominator)
+
+
+def worst_case_for(max_length: TimeLike) -> SlotAdversary:
+    """Build the bench-default worst-case schedule for the bound ``R``."""
     upper = as_time(max_length)
     if upper == 1:
         return Synchronous()
-    mid = (1 + upper) / 2
-    one = Fraction(1)
-    odd_pattern = (one, upper, mid)
-    even_pattern = (upper, one, one, mid)
-
-    class _Worst(SlotAdversary):
-        def next_slot_length(self, sim, station_id: int, slot_index: int) -> Fraction:
-            pattern = odd_pattern if station_id % 2 else even_pattern
-            return pattern[slot_index % len(pattern)]
-
-        def lattice_denominator(self) -> int:
-            return lcm(upper.denominator, mid.denominator)
-
-    return _Worst()
+    return WorstCaseCyclic(upper)

@@ -1,0 +1,396 @@
+"""The vectorized batch engine is observably invisible.
+
+Contract under test (see ``docs/vectorization.md``):
+
+* **Auto-detection** — ``Simulator(engine="auto")`` promotes exactly the
+  lattice-eligible runs whose algorithm and adversary classes have
+  registered vector programs; every other configuration demotes to the
+  object path with a human-readable reason in ``engine_detail``, and a
+  *forced* ``engine="batch"`` raises that same reason.
+* **Parity** — for every eligible configuration the batch kernel
+  produces a bit-identical execution: same events, same delivery
+  instants (exact rationals), same channel counters, same retained
+  channel history, same pending event heap, same per-station runtime
+  state.  Not approximately — ``==`` on everything.
+* **Transparency** — engine choice never leaks into results: grid
+  cells, chaos-disturbed pools, and trace spans agree with the object
+  path in everything but wall-clock.
+"""
+
+import dataclasses
+import pathlib
+from fractions import Fraction
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.algorithms import CAArrow, RRW, SlottedAloha
+from repro.analysis import run_cell
+from repro.arrivals import ArrivalSource, UniformRate
+from repro.core import Simulator
+from repro.core.batch import BATCH_ALGORITHMS, BATCH_SCHEDULES, batch_blocker
+from repro.core.errors import ConfigurationError
+from repro.core.trace import Trace
+from repro.obs.probes import ProbeBus
+from repro.obs.profiling import PhaseProfiler
+from repro.obs.tracing import Tracer, activate, deactivate
+from repro.scenarios import ScenarioSpec, load_spec
+from repro.scenarios.registry import ALGORITHMS, SCHEDULES
+from repro.timing import Adaptive, Synchronous
+
+SCENARIOS = pathlib.Path(__file__).resolve().parents[1] / "scenarios"
+
+#: Registered scenario algorithms with a vector program (everything
+#: else must demote, naming its class).  ``abs``/``doubling`` families
+#: and the ARRoW family are adaptive per-event state machines and stay
+#: object-path by design.
+BATCH_ELIGIBLE_ALGORITHMS = {"aloha", "mbtf", "rrw", "tdma"}
+
+#: Bundled scenario files expected to auto-promote / demote.
+BATCH_ELIGIBLE_SCENARIOS = {"aloha_random", "mbtf_sync", "rrw_sync", "tdma_sync"}
+
+#: Registered schedule names -> extra spec parameters they require.
+SCHEDULE_PARAMS = {
+    "sync": {},
+    "worst": {},
+    "random": {},
+    "fixed": {"length": "3/2"},
+    "per-station-fixed": {"lengths": {"1": "1", "2": "3/2", "3": "2", "4": "1"}},
+    "cyclic": {"patterns": {"1": ["1", "3/2"], "2": ["2", "1"],
+                            "3": ["1"], "4": ["3/2"]}},
+}
+
+
+def spec_for(algorithm, schedule="sync", **overrides):
+    params = dict(
+        algorithm=algorithm, n=4, max_slot=2, rho="1/2", horizon=200,
+        schedule={"name": schedule, **SCHEDULE_PARAMS.get(schedule, {})},
+    )
+    params.update(overrides)
+    return ScenarioSpec(**params)
+
+
+def fingerprint(sim, drain=True):
+    """Every observable of a run — plus internal scheduling state.
+
+    Stricter than the golden-parity fingerprint: the pending event
+    heap, per-station runtime fields, and the retained channel record
+    list must match too, so a batch run can be *continued* by the
+    object loop (or vice versa) without any divergence later.
+    """
+    if drain:
+        sim.channel.drain_all(sim.now)
+    return (
+        sim.events_processed,
+        sim.now,
+        sim.total_backlog,
+        sim.trace.max_backlog,
+        tuple(
+            (p.packet_id, p.station_id, p.arrival_time, p.delivered_time,
+             p.cost)
+            for p in sim.delivered_packets
+        ),
+        dataclasses.astuple(sim.channel.stats),
+        tuple(sorted(sim._event_heap)),
+        tuple(
+            (rt.station_id, rt.slot_index, rt.slot_start, rt.slot_end,
+             rt.slots_elapsed, len(rt.queue))
+            for rt in (sim.stations[sid] for sid in sim.station_ids)
+        ),
+        tuple(
+            (t.station_id, t.interval.start, t.interval.end, t.overlapped,
+             t.packet.packet_id if t.packet is not None else None)
+            for t in sim.channel._transmissions
+        ),
+    )
+
+
+def paired(spec, **build_kwargs):
+    object_sim = spec.build(engine="object", **build_kwargs)
+    batch_sim = spec.build(engine="batch", **build_kwargs)
+    assert object_sim.engine == "object"
+    assert batch_sim.engine == "batch"
+    return object_sim, batch_sim
+
+
+class LatticeNoHintSource(ArrivalSource):
+    """On the integer lattice but adaptive: no ``next_arrival_hint``."""
+
+    def arrivals_until(self, sim, upto):
+        return ()
+
+    def lattice_denominator(self):
+        return 1
+
+
+class TestEngineAutoDetection:
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS.names()))
+    def test_every_registered_algorithm_resolves_with_reason(self, name):
+        sim = spec_for(name).build()
+        if name in BATCH_ELIGIBLE_ALGORITHMS:
+            assert sim.engine == "batch"
+            assert sim.engine_detail is None
+        else:
+            # Ineligible -> object path, and the reason names the
+            # blocking class so `repro run` output is actionable.
+            assert sim.engine == "object"
+            assert sim.engine_detail is not None
+            cls = type(next(iter(sim.stations.values())).algorithm)
+            assert cls.__name__ in sim.engine_detail
+
+    @pytest.mark.parametrize("name", sorted(SCHEDULES.names()))
+    def test_every_registered_schedule_is_vectorized(self, name):
+        sim = spec_for("rrw", schedule=name).build()
+        assert sim.engine == "batch", sim.engine_detail
+
+    def test_registries_are_populated(self):
+        assert {cls.__name__ for cls in BATCH_ALGORITHMS} >= {
+            "SlottedAloha", "NaiveTDMA", "RRW", "MBTFLike", "KSelection",
+        }
+        assert {cls.__name__ for cls in BATCH_SCHEDULES} >= {
+            "Synchronous", "FixedLength", "PerStationFixed",
+            "CyclicPattern", "WorstCaseCyclic", "TableDriven",
+            "RandomUniform",
+        }
+
+    def test_off_lattice_adversary_demotes_with_reason(self):
+        adversary = Adaptive(lambda sim, sid, idx: Fraction(3, 2))
+        sim = Simulator(
+            {i: RRW(i, 3) for i in range(1, 4)}, adversary,
+            max_slot_length=2,
+        )
+        assert sim.engine == "object"
+        assert "Fraction timebase" in sim.engine_detail
+
+    def test_unvectorized_adversary_on_lattice_demotes_by_name(self):
+        class RigidSync(Synchronous):
+            """Lattice-friendly subclass with no registered program."""
+
+        sim = Simulator(
+            {i: RRW(i, 3) for i in range(1, 4)}, RigidSync(),
+            max_slot_length=2,
+        )
+        assert sim.timebase.is_lattice
+        assert sim.engine == "object"
+        assert "RigidSync" in sim.engine_detail
+
+    def test_probe_bus_demotes(self):
+        spec = spec_for("rrw")
+        sim = spec.build(probes=ProbeBus())
+        assert sim.engine == "object"
+        assert "ProbeBus" in sim.engine_detail
+
+    def test_profiler_demotes(self):
+        sim = spec_for("rrw").build(profiler=PhaseProfiler())
+        assert sim.engine == "object"
+        assert "PhaseProfiler" in sim.engine_detail
+
+    def test_record_slots_demotes(self):
+        sim = spec_for("rrw").build(trace=Trace(record_slots=True))
+        assert sim.engine == "object"
+        assert "record_slots" in sim.engine_detail
+
+    def test_mixed_algorithm_classes_demote(self):
+        fleet = {1: RRW(1, 3), 2: RRW(2, 3), 3: SlottedAloha(3, 0.5)}
+        sim = Simulator(fleet, Synchronous(), max_slot_length=2)
+        assert sim.engine == "object"
+        assert "mixed" in sim.engine_detail
+
+    def test_hintless_source_demotes(self):
+        sim = Simulator(
+            {i: RRW(i, 3) for i in range(1, 4)}, Synchronous(),
+            max_slot_length=2, arrival_source=LatticeNoHintSource(),
+        )
+        assert sim.timebase.is_lattice
+        assert sim.engine == "object"
+        assert "next_arrival_hint" in sim.engine_detail
+
+    def test_forced_batch_raises_the_detection_reason(self):
+        spec = spec_for("ca-arrow")
+        reason = batch_blocker(spec.build())
+        with pytest.raises(ConfigurationError, match="CAArrow"):
+            spec.build(engine="batch")
+        assert "CAArrow" in reason
+
+    def test_forced_batch_with_probes_raises(self):
+        with pytest.raises(ConfigurationError, match="ProbeBus"):
+            spec_for("rrw").build(engine="batch", probes=ProbeBus())
+
+    def test_stop_when_auto_falls_back_forced_raises(self):
+        spec = spec_for("rrw")
+        auto = spec.build()  # resolves to batch
+        assert auto.engine == "batch"
+        auto.run(until_time=50, stop_when=lambda s: s.events_processed >= 10)
+        assert auto.events_processed == 10  # per-event check ran
+        forced = spec.build(engine="batch")
+        with pytest.raises(ConfigurationError, match="stop_when"):
+            forced.run(until_time=50, stop_when=lambda s: False)
+
+
+class TestBatchObjectParity:
+    @pytest.mark.parametrize(
+        "path",
+        sorted(p for p in SCENARIOS.glob("*.json")
+               if p.stem in BATCH_ELIGIBLE_SCENARIOS),
+        ids=lambda p: p.stem,
+    )
+    def test_eligible_bundled_scenarios_bit_identical(self, path):
+        spec = load_spec(path).replace(horizon=600)
+        assert spec.build().engine == "batch"
+        object_sim, batch_sim = paired(spec)
+        object_sim.run(until_time=spec.horizon)
+        batch_sim.run(until_time=spec.horizon)
+        assert fingerprint(object_sim) == fingerprint(batch_sim)
+
+    @pytest.mark.parametrize(
+        "path",
+        sorted(p for p in SCENARIOS.glob("*.json")
+               if p.stem not in BATCH_ELIGIBLE_SCENARIOS),
+        ids=lambda p: p.stem,
+    )
+    def test_ineligible_bundled_scenarios_demote_with_reason(self, path):
+        sim = load_spec(path).build()
+        assert sim.engine == "object"
+        assert sim.engine_detail
+
+    @pytest.mark.parametrize("schedule", sorted(SCHEDULE_PARAMS))
+    def test_every_vector_schedule_bit_identical(self, schedule):
+        spec = spec_for("rrw", schedule=schedule, horizon=300)
+        object_sim, batch_sim = paired(spec)
+        object_sim.run(until_time=spec.horizon)
+        batch_sim.run(until_time=spec.horizon)
+        assert fingerprint(object_sim) == fingerprint(batch_sim)
+
+    def test_chunked_max_events_and_prune_boundaries(self):
+        """max_events is cumulative; chunk cuts landing mid-tick-group
+        must stay bit-identical, including the channel history pruned
+        at every 512-event boundary (regression: the kernel once pruned
+        with post-group low water instead of the boundary snapshot)."""
+        spec = spec_for("rrw", n=7, horizon=400)
+        object_sim, batch_sim = paired(spec)
+        object_sim.run(until_time=spec.horizon)
+        cuts = (7, 3, 1, 40, 5, 1000, 13)
+        i = 0
+        while batch_sim.now < spec.horizon:
+            budget = batch_sim.events_processed + cuts[i % len(cuts)]
+            batch_sim.run(until_time=spec.horizon, max_events=budget)
+            if batch_sim.events_processed < budget:
+                break  # horizon reached first
+            i += 1
+        assert object_sim.events_processed > 512  # prune actually fired
+        assert fingerprint(object_sim) == fingerprint(batch_sim)
+
+    def test_keep_channel_history_full_record_parity(self):
+        spec = spec_for("aloha", schedule="random", horizon=250)
+        object_sim, batch_sim = paired(spec, keep_channel_history=True)
+        object_sim.run(until_time=spec.horizon)
+        batch_sim.run(until_time=spec.horizon)
+        assert fingerprint(object_sim) == fingerprint(batch_sim)
+
+    def test_run_until_success_and_continuation(self):
+        """SST parity: first success instant matches, and the finished
+        batch run continues under the object semantics identically."""
+        from repro.algorithms import KSelection
+        from repro.timing import worst_case_for
+
+        def build(engine):
+            fleet = {
+                i: KSelection(i, 3, Fraction(2)) for i in range(1, 13)
+            }
+            return Simulator(
+                fleet, worst_case_for(Fraction(2)), max_slot_length=2,
+                initial_packets=1, engine=engine,
+            )
+
+        object_sim, batch_sim = build("object"), build("batch")
+        ends = (
+            object_sim.run_until_success(max_events=100_000),
+            batch_sim.run_until_success(max_events=100_000),
+        )
+        assert ends[0] is not None
+        assert ends[0] == ends[1]
+        assert fingerprint(object_sim, drain=False) == fingerprint(
+            batch_sim, drain=False
+        )
+        object_sim.run(until_time=5000)
+        batch_sim.run(until_time=5000)
+        assert fingerprint(object_sim) == fingerprint(batch_sim)
+
+    def test_engine_choice_never_reaches_results(self):
+        """Grid cells agree on everything a CellResult records."""
+        cell = spec_for("rrw", horizon=400).to_cell(name="parity")
+        object_result = run_cell(cell, engine="object")
+        batch_result = run_cell(cell, engine="batch")
+        assert object_result.engine == "object"
+        assert batch_result.engine == "batch"
+        exempt = {"engine", "timebase", "wall_s"}
+        for field in dataclasses.fields(object_result):
+            if field.name in exempt:
+                continue
+            assert getattr(object_result, field.name) == getattr(
+                batch_result, field.name
+            ), field.name
+
+
+class TestBatchChaosParity:
+    """Batch-engine cells disturbed by the chaos harness still match an
+    undisturbed serial run bit-for-bit, and RunHealth records the
+    recoveries (the engine is a per-process run option, so respawned
+    workers re-resolve it identically)."""
+
+    def test_disturbed_batch_grid_matches_undisturbed_serial(self, tmp_path):
+        from repro.exec import (
+            ChaosEvent, ChaosPlan, chaos_tasks, fork_available, run_tasks,
+        )
+
+        if not fork_available():
+            pytest.skip("fork-based pool unavailable")
+        cells = [
+            spec_for("rrw", horizon=300, rho=f"{k}/8").to_cell(name=f"b{k}")
+            for k in range(1, 6)
+        ]
+        baseline = [run_cell(c) for c in cells]
+        assert all(r.engine == "batch" for r in baseline)
+        tasks = [(lambda c: (lambda: run_cell(c)))(c) for c in cells]
+        plan = ChaosPlan(
+            events=(
+                ChaosEvent("crash", index=0, attempts=1),
+                ChaosEvent("raise", index=2, attempts=1),
+                ChaosEvent("hang", index=4, attempts=1),
+            ),
+            hang_s=30.0,
+        )
+        wrapped = chaos_tasks(tasks, plan, tmp_path / "chaos")
+        run = run_tasks(
+            wrapped, jobs=2, task_timeout=2.0, retries=3,
+            backoff_base=0.001,
+        )
+        assert run.values == baseline
+        assert all(r.engine == "batch" for r in run.values)
+        assert run.health.worker_crashes >= 1
+        assert run.health.timeouts >= 1
+        assert run.health.retries >= 3
+        assert run.health.failures == 0
+        assert run.health.disturbed
+
+
+class TestBatchObservability:
+    def test_trace_spans_identical_but_for_engine(self, tmp_path):
+        """RunHealth-adjacent observability: the cell span records the
+        same stable/delivered facts on both engines."""
+        cell = spec_for("aloha", horizon=300).to_cell(name="span-parity")
+        attrs = {}
+        for engine in ("object", "batch"):
+            tracer = activate(Tracer(spool_dir=tmp_path / engine))
+            try:
+                run_cell(cell, engine=engine)
+            finally:
+                deactivate()
+            spans = tracer.spans()
+            [cell_span] = [s for s in spans if s["name"] == "cell"]
+            attrs[engine] = cell_span["args"]
+        assert attrs["object"]["engine"] == "object"
+        assert attrs["batch"]["engine"] == "batch"
+        for key in ("cell", "stable", "delivered"):
+            assert attrs["object"][key] == attrs["batch"][key], key

@@ -136,6 +136,48 @@ class TestTimebaseParity:
         assert capsys.readouterr().out == _golden("cli_ca_arrow_worst.txt")
 
 
+class TestEngineParity:
+    """PR 8: the vectorized batch engine is held to the same standard
+    as the tick lattice — observably invisible.  (The deeper kernel
+    contract — heap/runtime/history equality, chunking, continuation —
+    lives in ``test_batch.py``; here the bundled scenarios and the
+    golden bytes are pinned.)"""
+
+    ELIGIBLE = {"aloha_random", "mbtf_sync", "rrw_sync", "tdma_sync"}
+
+    @pytest.mark.parametrize(
+        "path", sorted(SCENARIOS.glob("*.json")), ids=lambda p: p.stem
+    )
+    def test_bundled_scenarios_bit_identical_or_demoted(self, path):
+        pytest.importorskip("numpy")
+        spec = load_spec(path).replace(horizon=600)
+        auto = spec.build()
+        if path.stem not in self.ELIGIBLE:
+            assert auto.engine == "object"
+            assert auto.engine_detail  # names its blocker
+            return
+        assert auto.engine == "batch"
+        runs = {}
+        for requested in ("object", "batch"):
+            sim = spec.build(engine=requested)
+            assert sim.engine == requested
+            sim.run(until_time=spec.horizon)
+            runs[requested] = _fingerprint(sim)
+        assert runs["object"] == runs["batch"]
+        for entry in runs["batch"][4]:
+            assert isinstance(entry[3], (int, Fraction))
+
+    def test_cli_golden_identical_under_forced_object(self, capsys):
+        """The recorded golden bytes don't depend on the engine."""
+        code = main(
+            ["run", "--algorithm", "ca-arrow", "--n", "4", "--max-slot", "2",
+             "--rho", "1/2", "--horizon", "2000", "--schedule", "worst",
+             "--seed", "0", "--engine", "object"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == _golden("cli_ca_arrow_worst.txt")
+
+
 class TestOffLatticeFallback:
     """Components without a declared lattice demote the run to Fractions."""
 
