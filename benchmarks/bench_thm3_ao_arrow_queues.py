@@ -10,8 +10,9 @@ degrade as ``1/(1 - rho)`` when rho -> 1.
 The grid is declared as :class:`~repro.scenarios.ScenarioSpec` values —
 the same declarative form the CLI and ``scenarios/*.json`` files use —
 so every cell is cache-keyed by its canonical JSON rather than by
-bytecode fingerprints.  The cells are independent, so the grid runs on
-the :mod:`repro.exec` engine: ``REPRO_BENCH_JOBS=4`` fans it out over
+bytecode fingerprints.  The cells are independent, so the grid routes
+through the :mod:`repro.service` layer onto the :mod:`repro.exec`
+engine: ``REPRO_BENCH_JOBS=4`` fans it out over
 four workers with bit-identical results, and completed cells are
 memoized in ``.repro-cache/`` (``REPRO_BENCH_NO_CACHE=1`` to bypass).
 The artifact's ``meta`` block records wall time, jobs, and cache
@@ -23,7 +24,7 @@ from fractions import Fraction
 from repro.analysis import ExperimentCell, ao_queue_bound_L, run_grid_report
 from repro.scenarios import ScenarioSpec
 
-from .reporting import bench_cache, bench_jobs, emit, grid_meta, table
+from .reporting import emit, grid_meta, service_grid, table
 
 GRID = [
     (2, 1, "1/2"), (2, 2, "1/2"), (4, 2, "1/2"),
@@ -60,11 +61,9 @@ def _run_cell(n, R, rho):
 
 def test_queue_bound_grid(benchmark):
     def run():
-        return run_grid_report(
-            [_cell(n, R, rho) for n, R, rho in GRID],
+        return service_grid(
+            [_spec(n, R, rho) for n, R, rho in GRID],
             backlog_stride=STRIDE,
-            jobs=bench_jobs(),
-            cache=bench_cache(),
         )
 
     report = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -108,11 +107,9 @@ def test_backlog_degrades_toward_rate_one(benchmark):
     rhos = ("1/2", "3/4", "9/10", "19/20")
 
     def run():
-        return run_grid_report(
-            [_cell(3, 2, rho) for rho in rhos],
+        return service_grid(
+            [_spec(3, 2, rho) for rho in rhos],
             backlog_stride=STRIDE,
-            jobs=bench_jobs(),
-            cache=bench_cache(),
         )
 
     report = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -7,8 +7,8 @@ bound.
 
 Like the Theorem 3 bench, the grid is declared as
 :class:`~repro.scenarios.ScenarioSpec` values (canonical-JSON cache
-keys, replayable via ``repro scenario run``) and runs on the
-:mod:`repro.exec` engine — ``REPRO_BENCH_JOBS=4`` parallelizes it
+keys, replayable via ``repro scenario run``) and routes through the
+:mod:`repro.service` layer onto the :mod:`repro.exec` engine — ``REPRO_BENCH_JOBS=4`` parallelizes it
 bit-identically, and ``.repro-cache/`` memoizes completed cells
 (``REPRO_BENCH_NO_CACHE=1`` to bypass).
 """
@@ -18,7 +18,7 @@ from fractions import Fraction
 from repro.analysis import ExperimentCell, ca_queue_bound_L, run_grid_report
 from repro.scenarios import ScenarioSpec
 
-from .reporting import bench_cache, bench_jobs, emit, grid_meta, table
+from .reporting import emit, grid_meta, service_grid, table
 
 GRID = [
     (2, 1, "1/2"), (2, 2, "1/2"), (4, 2, "1/2"),
@@ -55,11 +55,9 @@ def _run_cell(n, R, rho):
 
 def test_queue_bound_and_collision_freedom_grid(benchmark):
     def run():
-        return run_grid_report(
-            [_cell(n, R, rho) for n, R, rho in GRID],
+        return service_grid(
+            [_spec(n, R, rho) for n, R, rho in GRID],
             backlog_stride=STRIDE,
-            jobs=bench_jobs(),
-            cache=bench_cache(),
         )
 
     report = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -108,11 +106,9 @@ def test_ca_vs_ao_overhead(benchmark):
     rhos = ("1/2", "9/10")
 
     def run():
-        cells = [_cell(3, 2, rho, algorithm) for rho in rhos
+        specs = [_spec(3, 2, rho, algorithm) for rho in rhos
                  for algorithm in ("ca-arrow", "ao-arrow")]
-        return run_grid_report(
-            cells, backlog_stride=STRIDE, jobs=bench_jobs(), cache=bench_cache()
-        )
+        return service_grid(specs, backlog_stride=STRIDE)
 
     report = benchmark.pedantic(run, rounds=1, iterations=1)
     paired = dict(zip(rhos, zip(report.results[0::2], report.results[1::2])))

@@ -67,6 +67,30 @@ def bench_cache():
     return ResultCache(os.environ.get("REPRO_BENCH_CACHE_DIR", ".repro-cache"))
 
 
+def service_grid(specs: Sequence[Any], *, backlog_stride: int = 8):
+    """Run a spec grid through the run-service layer.
+
+    The bench-harness equivalent of ``repro grid``: the specs become a
+    :class:`~repro.service.RunRequest` with the environment-derived
+    bench options (``REPRO_BENCH_JOBS`` / ``REPRO_BENCH_NO_CACHE`` /
+    ``REPRO_BENCH_CACHE_DIR``) and execute on the one shared pipeline
+    every other transport uses.  Returns the underlying
+    :class:`~repro.analysis.GridReport`, so existing ``grid_meta`` /
+    row-zipping call sites work unchanged — cache identity is
+    preserved because cells are still keyed by spec canonical JSON.
+    """
+    from repro.service import RunOptions, RunRequest, execute
+
+    options = RunOptions(
+        jobs=bench_jobs(),
+        cache=not os.environ.get("REPRO_BENCH_NO_CACHE", "").strip(),
+        cache_dir=os.environ.get("REPRO_BENCH_CACHE_DIR", ".repro-cache"),
+        backlog_stride=backlog_stride,
+    )
+    request = RunRequest(specs=tuple(specs), command="grid", options=options)
+    return execute(request).report
+
+
 def grid_meta(report) -> Dict[str, Any]:
     """The standard ``meta`` block for a :class:`GridReport`-backed bench."""
     meta = {

@@ -13,6 +13,9 @@ paper's algorithms and adversarial constructions:
 * :mod:`repro.analysis` — paper bounds, stability tests, MSR search;
 * :mod:`repro.obs` — probes, metrics, JSONL run artifacts, profiling;
 * :mod:`repro.exec` — process-pool grids/sweeps, result cache, bench diff;
+* :mod:`repro.service` — the transport-agnostic run service
+  (``RunRequest`` → ``execute`` → ``RunResult``) and the ``repro
+  serve`` HTTP daemon + ``repro submit`` client built on it;
 * :mod:`repro.viz` — ASCII schedule/phase timelines.
 
 Quickstart::
@@ -44,6 +47,7 @@ from . import (
     faults,
     lowerbounds,
     obs,
+    service,
     timing,
     viz,
 )
@@ -57,6 +61,7 @@ __all__ = [
     "faults",
     "lowerbounds",
     "obs",
+    "service",
     "timing",
     "viz",
     "__version__",

@@ -21,6 +21,12 @@ The subcommands cover the repository's surface:
 * ``scenario``  — the declarative layer itself: ``list`` registries and
                   bundled specs, ``validate`` spec files, ``run`` a
                   spec file (or replay a JSONL artifact's embedded spec);
+* ``serve``     — the run-service HTTP daemon (:mod:`repro.service`):
+                  accepts ``RunRequest`` JSON over localhost, streams
+                  the JSONL artifact back incrementally, serves repeat
+                  submissions from the result cache;
+* ``submit``    — the matching client: POST a scenario file (or a full
+                  ``RunRequest`` document) to a running daemon;
 * ``sst``       — single-successful-transmission / leader election
                   (ABS, unknown-R doubling, randomized);
 * ``adversary`` — execute a theorem construction (Thm 2 mirror,
@@ -61,10 +67,9 @@ Examples::
 from __future__ import annotations
 
 import argparse
-import os
+import json
 import pathlib
 import sys
-import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -75,11 +80,10 @@ from .analysis import (
     ao_sync_silence_threshold,
     ca_gap_slots,
     ca_queue_bound_L,
-    collect_metrics,
     mbtf_queue_bound,
     sst_lower_bound_slots,
 )
-from .core import Trace, as_time
+from .core import as_time
 from .core.errors import ConfigurationError
 from .lowerbounds import (
     force_collision_or_overflow,
@@ -88,15 +92,8 @@ from .lowerbounds import (
     verify_mirror_execution,
 )
 from .obs import (
-    JsonlRunWriter,
-    PhaseProfiler,
-    ProbeBus,
-    ProgressReporter,
-    RunManifest,
-    SimulationMetrics,
     Tracer,
     activate,
-    current_tracer,
     deactivate,
     git_sha,
     record_completion,
@@ -104,6 +101,13 @@ from .obs import (
     summarize_run,
 )
 from .scenarios import ALGORITHMS, FAULTS, SCHEDULES, SOURCES, ScenarioSpec, load_spec
+from .service import (
+    COMMANDS,
+    RunRequest,
+    RunResult,
+    execute,
+    options_from_args,
+)
 
 #: Where the bundled scenario files live, relative to the repo root.
 BUNDLED_SCENARIOS_DIR = "scenarios"
@@ -216,105 +220,45 @@ def _tracing(path: Optional[str]) -> Iterator[Optional[Tracer]]:
         print(f"trace: {target}")
 
 
-def _spec_hash(spec: ScenarioSpec) -> Optional[str]:
-    """A stable short hash of a spec's canonical form (history key)."""
-    import hashlib
-    import json
-
+def _request_or_exit(**kwargs: Any) -> RunRequest:
+    """Build a service request, turning validation errors into CLI errors."""
     try:
-        canonical = json.dumps(spec.canonical(), sort_keys=True, default=str)
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
-    except Exception:
-        return None
+        return RunRequest(**kwargs)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def _run_spec(spec: ScenarioSpec, args: argparse.Namespace) -> int:
-    """Build, run and report one spec (shared by ``run`` / ``scenario run``)."""
-    observing = args.metrics or args.emit_jsonl or args.progress
-    bus = ProbeBus() if observing else None
-    sim_metrics = None
-    writer = None
-    if args.metrics or args.emit_jsonl:
-        sim_metrics = SimulationMetrics()
-        sim_metrics.attach(bus)
-    tracer = current_tracer()
-    # With the flight recorder on, always profile: the per-phase totals
-    # become the trace's sim.* spans (printed only under --profile).
-    profiler = PhaseProfiler() if (args.profile or tracer is not None) else None
+    """Route one spec through the service (``run`` / ``scenario run``)."""
+    if args.progress and args.progress < 1:
+        raise SystemExit(f"--progress must be >= 1, got {args.progress}")
+    request = _request_or_exit(
+        specs=(spec,), command="run", options=options_from_args(args)
+    )
     try:
-        sim = spec.build(
-            trace=Trace(backlog_stride=8), probes=bus, profiler=profiler,
-            timebase=getattr(args, "timebase", "auto"),
-            engine=getattr(args, "engine", "auto"),
-        )
+        result = execute(request)
     except ConfigurationError as exc:
         raise SystemExit(str(exc)) from None
-    if args.emit_jsonl:
-        manifest = RunManifest.create(
-            spec=spec.canonical(),
-            command="run",
-            algorithm=spec.algorithm,
-            n=spec.n,
-            max_slot_length=spec.max_slot,
-            rho=spec.rho,
-            burst=spec.burst,
-            schedule=spec.schedule_display(),
-            seed=spec.seed,
-            horizon=str(spec.horizon),
-            engine=sim.engine,
-            timebase=sim.timebase.describe(),
-        )
-        try:
-            writer = JsonlRunWriter(
-                args.emit_jsonl, manifest, metrics=sim_metrics
-            ).attach(bus)
-        except OSError as exc:
-            raise SystemExit(f"cannot write {args.emit_jsonl!r}: {exc}") from None
-    if args.progress:
-        if args.progress < 1:
-            raise SystemExit(f"--progress must be >= 1, got {args.progress}")
-        # The user picked the cadence explicitly; don't rate-limit it away.
-        ProgressReporter(every_events=args.progress, min_interval_s=0.0).attach(bus)
-    started = time.perf_counter()
-    run_span = None
-    if tracer is not None:
-        run_span = tracer.begin(
-            "run", scenario=spec.name, algorithm=spec.algorithm,
-            engine=sim.engine,
-        )
-    sim.run(until_time=spec.horizon)
-    if run_span is not None:
-        if profiler is not None:
-            from .analysis.experiments import emit_phase_spans
+    _render_run(spec, result, args)
+    return 0
 
-            emit_phase_spans(tracer, run_span, profiler)
-        tracer.end(run_span, horizon=str(spec.horizon))
-    wall_s = time.perf_counter() - started
-    if writer is not None:
-        writer.close(sim=sim)
-    metrics = collect_metrics(sim)
-    record_completion(
-        "run",
-        spec.name,
-        wall_s=wall_s,
-        jobs=1,
-        mode="serial",
-        spec_hash=_spec_hash(spec),
-        git_sha=git_sha(),
-        artifact_path=args.emit_jsonl or None,
-        trace_path=getattr(args, "trace", None),
-        extra={"delivered": metrics.delivered, "backlog": metrics.backlog,
-               "engine": sim.engine, "timebase": sim.timebase.describe()},
-    )
-    # The header line is golden-pinned (tests/golden/) — engine and
-    # timebase are run options, surfaced via --verbose-engine instead.
+
+def _render_run(
+    spec: ScenarioSpec, result: RunResult, args: argparse.Namespace
+) -> None:
+    """Print one run result — byte-identical to the pre-service CLI.
+
+    The header line is golden-pinned (tests/golden/) — engine and
+    timebase are run options, surfaced via --verbose-engine instead.
+    """
+    metrics = result.metrics
     print(f"algorithm={spec.algorithm} n={spec.n} R={spec.max_slot} "
           f"rho={spec.rho} schedule={spec.schedule_display()} "
           f"horizon={spec.horizon}")
     if getattr(args, "verbose_engine", False):
-        detail = f" ({sim.engine_detail})" if sim.engine_detail else ""
-        print(f"  engine:         {sim.engine}/"
-              f"{sim.timebase.describe()}{detail}")
+        detail = f" ({result.engine_detail})" if result.engine_detail else ""
+        print(f"  engine:         {result.engine}/"
+              f"{result.timebase}{detail}")
     print(f"  delivered:      {metrics.delivered}")
     print(f"  backlog:        {metrics.backlog} (peak {metrics.max_backlog})")
     print(f"  collisions:     {metrics.collisions}")
@@ -322,17 +266,16 @@ def _run_spec(spec: ScenarioSpec, args: argparse.Namespace) -> int:
     print(f"  throughput:     {float(metrics.throughput_cost):.4f} cost/time")
     if metrics.mean_latency is not None:
         print(f"  mean latency:   {float(metrics.mean_latency):.2f}")
-    if sim_metrics is not None and args.metrics:
+    if args.metrics:
         print("metrics:")
-        for line in sim_metrics.render():
+        for line in result.metrics_lines:
             print(f"  {line}")
-    if profiler is not None and args.profile:
+    if args.profile:
         print("profile:")
-        for line in profiler.render():
+        for line in result.profile_lines:
             print(f"  {line}")
-    if writer is not None:
-        print(f"artifact:         {writer.path}")
-    return 0
+    if result.artifact_path is not None:
+        print(f"artifact:         {result.artifact_path}")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -410,6 +353,9 @@ def _cmd_history(args: argparse.Namespace) -> int:
                 status=args.status,
                 since=args.since,
                 limit=args.limit,
+                engine=args.engine,
+                timebase=args.timebase,
+                served=args.served,
             )
         else:
             entries = history.list(limit=args.limit)
@@ -422,30 +368,8 @@ def _cmd_history(args: argparse.Namespace) -> int:
     return 0
 
 
-def _attach_grid_history(
-    report: Any, cache: Any, *, trace: Optional[str], csv: Optional[str]
-) -> None:
-    """Attach late-learned paths to the grid's history row (best-effort)."""
-    history_id = getattr(report, "history_id", None)
-    if history_id is None or not (trace or csv):
-        return
-    from .obs import RunHistory
-
-    db = pathlib.Path(cache.root) / "history.db" if cache is not None else None
-    updates: Dict[str, Any] = {}
-    if trace:
-        updates["trace_path"] = trace
-    if csv:
-        updates["artifact_path"] = csv
-    try:
-        RunHistory(db).update(history_id, **updates)
-    except Exception:
-        pass  # history is forensics, never a reason to fail the grid
-
-
 def _cmd_grid(args: argparse.Namespace) -> int:
-    from .analysis import ExperimentCell, run_grid_report, write_csv
-    from .exec import JournalMismatch, ResultCache
+    from .exec import JournalMismatch
 
     algorithms = [name.strip() for name in args.algorithms.split(",") if name.strip()]
     rhos = [rho.strip() for rho in args.rhos.split(",") if rho.strip()]
@@ -453,11 +377,11 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         raise SystemExit("--algorithms and --rhos must each name at least one value")
     _schedule_or_exit(args.schedule)
     faults = tuple(_parse_fault_flag(text) for text in (args.faults or ()))
-    cells = []
+    specs = []
     for algorithm in algorithms:
         _dynamic_algorithm_or_exit(algorithm)
         for rho in rhos:
-            spec = _spec_or_exit(
+            specs.append(_spec_or_exit(
                 algorithm=algorithm,
                 n=args.n,
                 max_slot=args.max_slot,
@@ -468,34 +392,18 @@ def _cmd_grid(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 faults=faults,
                 labels={"algorithm": algorithm, "rho": rho},
-            )
-            cells.append(ExperimentCell.from_spec(spec))
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
-    progress = None
-    if args.progress:
-        progress = ProgressReporter(every_events=1, min_interval_s=1.0)
-    journal = args.journal
-    if journal is None and args.resume:
-        # --resume with no explicit path uses the cache-adjacent default
-        # the previous (journalled) run would have written.
-        journal = os.path.join(args.cache_dir, "grid-journal.jsonl")
+            ))
+    request = _request_or_exit(
+        specs=tuple(specs), command="grid", options=options_from_args(args)
+    )
     try:
         with _tracing(args.trace):
-            report = run_grid_report(
-                cells,
-                backlog_stride=args.backlog_stride,
-                jobs=args.jobs,
-                cache=cache,
-                progress=progress,
-                task_timeout=args.task_timeout,
-                retries=args.retries,
-                journal=journal,
-                resume=args.resume,
-                engine=args.engine,
-            )
+            grid = execute(request)
     except JournalMismatch as exc:
         raise SystemExit(str(exc))
-    _attach_grid_history(report, cache, trace=args.trace, csv=args.csv)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
+    report = grid.report
     header = (
         f"{'name':<24} {'stable':<8} {'delivered':>9} {'backlog':>7} "
         f"{'peak':>5} {'coll':>5} {'thr':>7}  {'engine/timebase':<15}"
@@ -519,23 +427,22 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     cache_note = (
         f"cache: {report.cache_hits} hit / {report.cache_misses} miss "
         f"({args.cache_dir})"
-        if cache is not None
+        if request.options.cache
         else "cache: disabled"
     )
     print(
         f"grid: {len(report.results)} cells in {report.wall_s:.2f}s "
         f"jobs={report.jobs} mode={report.mode} | {cache_note}"
     )
-    if journal is not None:
-        journal_note = f"journal: {journal}"
+    if grid.journal_path is not None:
+        journal_note = f"journal: {grid.journal_path}"
         if report.journal_hits:
             journal_note += f" ({report.journal_hits} cells resumed)"
         print(journal_note)
     if report.health.disturbed:
         print(f"health: {report.health.render()}")
-    if args.csv:
-        write_csv(report.results, args.csv)
-        print(f"csv:  {args.csv}")
+    if grid.csv_path:
+        print(f"csv:  {grid.csv_path}")
     if report.failures:
         print(f"FAILED cells ({len(report.failures)}):", file=sys.stderr)
         for failure in report.failures:
@@ -726,25 +633,108 @@ def _cmd_sst(args: argparse.Namespace) -> int:
         seed=args.seed,
         rho=None,
     )
-    sim = spec.build()
-    fleet = {i: sim.algorithm(i) for i in sim.station_ids}
-    solved_at = sim.run_until_success(max_events=args.max_events)
-    if solved_at is None:
+    request = _request_or_exit(
+        specs=(spec,), command="sst", options=options_from_args(args)
+    )
+    try:
+        result = execute(request)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
+    if not result.ok:
         print("SST NOT solved within the event budget")
         return 1
-    sim.run(
-        max_events=sim.events_processed + 100_000,
-        stop_when=lambda s: all(a.is_done for a in fleet.values()),
-    )
-    winners = [i for i, a in fleet.items() if getattr(a, "outcome", None) == "won"]
+    payload = result.sst or {}
     print(f"algorithm={args.algorithm} n={args.n} R={spec.max_slot} "
           f"schedule={args.schedule}")
-    print(f"  solved at:      t = {solved_at}")
-    print(f"  winner:         station {winners[0] if winners else '?'}")
-    print(f"  max slots used: {sim.max_slots_elapsed()}")
-    print(f"  Theorem 1 bound (known R): "
-          f"{abs_slot_upper_bound(args.n, spec.max_slot)}")
+    print(f"  solved at:      t = {payload['solved_at']}")
+    winner = payload.get("winner")
+    print(f"  winner:         station {winner if winner is not None else '?'}")
+    print(f"  max slots used: {payload['max_slots']}")
+    print(f"  Theorem 1 bound (known R): {payload['bound']}")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import serve_forever
+
+    try:
+        return serve_forever(
+            args.host, args.port, args.cache_dir, quiet=args.quiet
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service import ServiceError, submit_request
+
+    try:
+        text = pathlib.Path(args.target).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SystemExit(f"cannot read {args.target!r}: {exc}") from None
+    try:
+        probe = json.loads(text)
+    except json.JSONDecodeError:
+        probe = None
+    if isinstance(probe, dict) and (
+        "specs" in probe or "spec" in probe or "request" in probe
+    ):
+        # A full RunRequest document: submit it as-is.
+        try:
+            request = RunRequest.from_json(probe)
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc)) from None
+    else:
+        # A scenario spec file (or JSONL artifact): wrap it in a request
+        # built from the submit flags, exactly like `scenario run`.
+        try:
+            spec = load_spec(args.target)
+            overrides: Dict[str, Any] = {}
+            if args.horizon is not None:
+                overrides["horizon"] = args.horizon
+            if args.seed is not None:
+                overrides["seed"] = args.seed
+            if overrides:
+                spec = spec.replace(**overrides)
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc)) from None
+        request = _request_or_exit(
+            specs=(spec,), command=args.command,
+            options=options_from_args(args),
+        )
+    out = None
+    try:
+        if args.out:
+            try:
+                out = open(args.out, "w", encoding="utf-8")
+            except OSError as exc:
+                raise SystemExit(f"cannot write {args.out!r}: {exc}") from None
+        try:
+            envelope = submit_request(
+                args.url, request, out=out, timeout=args.timeout
+            )
+        except ServiceError as exc:
+            raise SystemExit(str(exc)) from None
+    finally:
+        if out is not None:
+            out.close()
+    print(f"submitted {request.command} to {args.url}")
+    print(f"  name:        {envelope.get('name', '?')}")
+    print(f"  status:      {envelope.get('status', '?')}")
+    print(f"  served from: {envelope.get('served_from', '?')}")
+    if "delivered" in envelope:
+        print(f"  delivered:   {envelope['delivered']}")
+        print(f"  backlog:     {envelope['backlog']}")
+    if "cells" in envelope:
+        print(f"  cells:       {envelope['cells']} "
+              f"({envelope.get('cache_hits', 0)} cache hits)")
+    if "wall_s" in envelope:
+        print(f"  wall:        {envelope['wall_s']}s")
+    if envelope.get("history_id") is not None:
+        print(f"  history id:  {envelope['history_id']}")
+    if args.out:
+        print(f"artifact:         {args.out}")
+    return 0 if envelope.get("status") == "ok" else 1
 
 
 def _cmd_adversary(args: argparse.Namespace) -> int:
@@ -887,12 +877,21 @@ def _obs_flags(parser: argparse.ArgumentParser) -> None:
                         "Chrome trace-event JSON (Perfetto-loadable)")
 
 
+def _version_string() -> str:
+    from . import __version__
+
+    return f"repro {__version__} ({git_sha() or 'unknown'})"
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Bounded-asynchrony MAC: algorithms, adversaries, bounds "
         "(ICDCS 2024 reproduction)",
     )
+    parser.add_argument("--version", action="version",
+                        version=_version_string(),
+                        help="print package version and git commit")
     sub = parser.add_subparsers(dest="command", required=True)
     scenario_flags = _scenario_flags_parent()
 
@@ -980,6 +979,16 @@ def build_parser() -> argparse.ArgumentParser:
     hquery_p.add_argument("--status", default=None, help="ok | failed")
     hquery_p.add_argument("--since", default=None, metavar="ISO",
                           help="ISO date(time) prefix, e.g. 2026-08")
+    hquery_p.add_argument("--engine", default=None,
+                          choices=("batch", "object"),
+                          help="runs executed by this engine (grids match "
+                          "when any cell used it)")
+    hquery_p.add_argument("--timebase", default=None,
+                          choices=("lattice", "fraction"),
+                          help="runs executed on this timebase")
+    hquery_p.add_argument("--served", default=None,
+                          choices=("cache", "journal", "mixed", "exec"),
+                          help="provenance: where the result came from")
     for history_cmd in (hlist_p, hshow_p, hquery_p):
         history_cmd.add_argument(
             "--db", default=None,
@@ -1016,6 +1025,53 @@ def build_parser() -> argparse.ArgumentParser:
                         help="override the spec's seed")
     _obs_flags(srun_p)
     srun_p.set_defaults(handler=_cmd_scenario_run)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="HTTP daemon: accept RunRequest JSON, stream artifacts back",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (keep it loopback: the daemon "
+                         "has no authentication)")
+    serve_p.add_argument("--port", type=int, default=8765,
+                         help="TCP port (0 = pick a free one)")
+    serve_p.add_argument("--cache-dir", default=".repro-cache",
+                         help="result cache + history database directory")
+    serve_p.add_argument("--quiet", action="store_true",
+                         help="suppress per-request access logging")
+    serve_p.set_defaults(handler=_cmd_serve)
+
+    submit_p = sub.add_parser(
+        "submit",
+        help="send a scenario or RunRequest file to a repro serve daemon",
+    )
+    submit_p.add_argument("target",
+                          help="scenario .json, --emit-jsonl artifact, or a "
+                          "full RunRequest document")
+    submit_p.add_argument("--url", default="http://127.0.0.1:8765",
+                          help="daemon base URL")
+    submit_p.add_argument("--out", metavar="PATH", default=None,
+                          help="write the streamed JSONL artifact here")
+    submit_p.add_argument("--timeout", type=float, default=None,
+                          metavar="SECONDS", help="socket timeout")
+    submit_p.add_argument("--command", choices=list(COMMANDS), default="run",
+                          help="how the daemon should execute a scenario "
+                          "file (RunRequest documents carry their own)")
+    submit_p.add_argument("--horizon", default=None,
+                          help="override a scenario file's horizon")
+    submit_p.add_argument("--seed", type=int, default=None,
+                          help="override a scenario file's seed")
+    submit_p.add_argument("--engine", choices=("auto", "batch", "object"),
+                          default="auto",
+                          help="run loop for a scenario-file submission")
+    submit_p.add_argument("--timebase",
+                          choices=("auto", "lattice", "fraction"),
+                          default="auto",
+                          help="time representation for a scenario-file "
+                          "submission")
+    submit_p.add_argument("--metrics", action="store_true",
+                          help="attach the metric instruments daemon-side")
+    submit_p.set_defaults(handler=_cmd_submit)
 
     bench_p = sub.add_parser("bench", help="benchmark artifact tooling")
     bench_sub = bench_p.add_subparsers(dest="bench_command", required=True)

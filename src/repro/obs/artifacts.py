@@ -175,28 +175,42 @@ class JsonlRunWriter:
     ``slot_stride`` thins the (dominant) slot records: ``k`` keeps every
     k-th slot-end of the run while arrivals, deliveries and collisions
     are always written exactly.
+
+    Instead of a ``path``, an already-open text ``stream`` may be given
+    (the ``repro serve`` daemon streams records over HTTP this way);
+    exactly one of the two is required, and an external stream is
+    flushed but never closed by :meth:`close`.
     """
 
     def __init__(
         self,
-        path: Union[str, pathlib.Path],
+        path: Union[str, pathlib.Path, None] = None,
         manifest: Optional[RunManifest] = None,
         slot_stride: int = 1,
         metrics: Optional[SimulationMetrics] = None,
         metrics_every: Optional[int] = None,
+        *,
+        stream: Optional[IO[str]] = None,
     ) -> None:
         if slot_stride < 1:
             raise ValueError(f"slot_stride must be >= 1, got {slot_stride}")
         if metrics_every is not None and metrics_every < 1:
             raise ValueError(f"metrics_every must be >= 1, got {metrics_every}")
-        self.path = pathlib.Path(path)
+        if (path is None) == (stream is None):
+            raise ValueError("exactly one of path and stream is required")
+        self.path = pathlib.Path(path) if path is not None else None
         self.metrics = metrics
         self._slot_stride = slot_stride
         self._metrics_every = metrics_every
         self._slot_events = 0
         self._wall_start = time.perf_counter()
         self._detach: Optional[Callable[[], None]] = None
-        self._stream: Optional[IO[str]] = self.path.open("w", encoding="utf-8")
+        self._owns_stream = stream is None
+        self._stream: Optional[IO[str]] = (
+            self.path.open("w", encoding="utf-8")
+            if self.path is not None
+            else stream
+        )
         if manifest is not None:
             self._write(manifest.to_record())
 
@@ -288,8 +302,13 @@ class JsonlRunWriter:
         )
         return self
 
-    def close(self, sim: Any = None) -> pathlib.Path:
-        """Detach, write the summary record, flush, and close the file."""
+    def close(self, sim: Any = None) -> Optional[pathlib.Path]:
+        """Detach, write the summary record, flush, and close the file.
+
+        An external ``stream`` is flushed but left open (its owner
+        decides when the transport ends); the returned path is ``None``
+        in that case.
+        """
         if self._detach is not None:
             self._detach()
             self._detach = None
@@ -311,7 +330,13 @@ class JsonlRunWriter:
             if self.metrics is not None:
                 summary["metrics"] = self.metrics.snapshot()
             self._write(summary)
-            self._stream.close()
+            if self._owns_stream:
+                self._stream.close()
+            else:
+                try:
+                    self._stream.flush()
+                except (OSError, ValueError):
+                    pass  # the transport died mid-stream; records are lost anyway
             self._stream = None
         return self.path
 

@@ -312,12 +312,22 @@ class RunHistory:
         status: Optional[str] = None,
         since: Optional[str] = None,
         limit: int = 50,
+        engine: Optional[str] = None,
+        timebase: Optional[str] = None,
+        served: Optional[str] = None,
     ) -> List[HistoryEntry]:
         """Filtered entries, newest first.
 
         ``name_like`` is a case-insensitive substring match; ``since``
         compares against the ISO ``created_at`` stamp lexically (so any
         prefix — ``2026-08``, a full timestamp — works).
+
+        ``engine``/``timebase`` match the execution provenance recorded
+        in ``extra`` (a grid matches ``engine`` when *any* of its cells
+        used it); ``served`` matches :attr:`HistoryEntry.served_from`
+        (``cache``/``journal``/``mixed``/``exec``).  These three filter
+        in Python after the SQL pass, since they live in the JSON
+        ``extra`` column.
         """
         if limit < 1:
             raise ValueError(f"limit must be >= 1, got {limit}")
@@ -338,12 +348,32 @@ class RunHistory:
             clauses.append("created_at >= ?")
             params.append(since)
         where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        post_filtered = engine or timebase or served
+        # Post-filters can reject arbitrarily many SQL rows, so the SQL
+        # LIMIT must not apply until after they run (-1 = unlimited).
+        sql_limit = -1 if post_filtered else limit
         with self._connect(create=False) as connection:
             rows = connection.execute(
                 f"SELECT * FROM runs{where} ORDER BY id DESC LIMIT ?",
-                (*params, limit),
+                (*params, sql_limit),
             ).fetchall()
-        return [_entry_from_row(row) for row in rows]
+        entries = [_entry_from_row(row) for row in rows]
+        if engine is not None:
+            entries = [
+                e for e in entries
+                if e.extra.get("engine") == engine
+                or engine in (e.extra.get("engines") or ())
+            ]
+        if timebase is not None:
+            # Recorded values carry the lattice pitch ("lattice(1/2)");
+            # filter on the family name before the parenthesis.
+            entries = [
+                e for e in entries
+                if str(e.extra.get("timebase") or "").split("(")[0] == timebase
+            ]
+        if served is not None:
+            entries = [e for e in entries if e.served_from == served]
+        return entries[:limit]
 
     def list(self, limit: int = 20) -> List[HistoryEntry]:
         """The most recent entries, newest first."""

@@ -1,0 +1,63 @@
+"""The transport-agnostic run-service layer.
+
+Every way of executing simulations that this repository ships — the
+CLI subcommands (``repro run`` / ``scenario run`` / ``grid`` /
+``sst``), the benchmark drivers, and the ``repro serve`` HTTP daemon —
+is a thin *transport* over one shared pipeline:
+
+    :class:`RunRequest`  --plan()-->  :class:`RunPlan`  --execute()-->  :class:`RunResult`
+
+* :mod:`repro.service.request` — :class:`RunRequest`: a frozen,
+  JSON-round-trippable description of what to run (one
+  :class:`~repro.scenarios.ScenarioSpec`, or a grid of them) plus
+  :class:`RunOptions` (engine, timebase, jobs, cache, journal/resume,
+  timeouts/retries, trace/artifact paths).  Validation is strict and
+  eager, naming the offending field, exactly like the scenario layer.
+* :mod:`repro.service.runner` — :func:`plan` resolves a request
+  against the local environment (cache directory, journal default,
+  registries) and :func:`execute` runs it on the :mod:`repro.exec`
+  engine, returning a uniform :class:`RunResult` envelope: manifest,
+  metrics, :class:`~repro.exec.RunHealth`, run-history id,
+  artifact/trace paths, and cache/journal provenance.
+* :mod:`repro.service.server` — ``repro serve``: a stdlib-only HTTP
+  daemon accepting ``RunRequest`` JSON, streaming JSONL artifacts
+  incrementally and serving repeat requests from the
+  :class:`~repro.exec.ResultCache`.
+* :mod:`repro.service.client` — ``repro submit``: the matching HTTP
+  client.
+
+Because the pipeline is one function, the transports cannot drift:
+the CLI's golden fixtures pin the service's output byte-for-byte, and
+the daemon's streamed artifacts are record-identical to a local
+``repro run --emit-jsonl``.  See ``docs/service.md``.
+"""
+
+from .request import (
+    COMMANDS,
+    OPTION_FIELDS,
+    SERVICE_SCHEMA_VERSION,
+    RunOptions,
+    RunRequest,
+    options_from_args,
+)
+from .runner import RunPlan, RunResult, execute, plan
+from .client import ServiceError, fetch_version, submit_request
+from .server import create_server, serve_forever
+
+__all__ = [
+    "COMMANDS",
+    "OPTION_FIELDS",
+    "RunOptions",
+    "RunPlan",
+    "RunRequest",
+    "RunResult",
+    "SERVICE_SCHEMA_VERSION",
+    "ServiceError",
+    "create_server",
+    "execute",
+    "fetch_version",
+    "options_from_args",
+    "plan",
+    "serve_forever",
+    "submit_request",
+]

@@ -418,3 +418,82 @@ class TestHistoryCommand:
         with pytest.raises(SystemExit) as exc_info:
             main(["stats", "/no/such/artifact.jsonl"])
         assert "cannot read" in str(exc_info.value)
+
+
+class TestVersionFlag:
+    def test_version_reports_package_and_sha(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc_info:
+            main(["--version"])
+        assert exc_info.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith(f"repro {__version__} (")
+
+
+class TestServeSubmitCommands:
+    def test_serve_rejects_taken_port(self):
+        import socket
+
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        port = blocker.getsockname()[1]
+        try:
+            with pytest.raises(SystemExit) as exc_info:
+                main(["serve", "--port", str(port)])
+            assert "cannot bind" in str(exc_info.value)
+        finally:
+            blocker.close()
+
+    def test_submit_missing_target_exits_nonzero(self):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["submit", "/no/such/spec.json"])
+        assert "cannot read" in str(exc_info.value)
+
+    def test_submit_unreachable_daemon_exits_nonzero(self, tmp_path):
+        spec_path = tmp_path / "s.json"
+        from repro.scenarios import ScenarioSpec
+
+        spec_path.write_text(
+            ScenarioSpec(algorithm="ca-arrow", n=3, rho="1/2",
+                         horizon=400).to_json()
+        )
+        with pytest.raises(SystemExit) as exc_info:
+            main(["submit", str(spec_path), "--url", "http://127.0.0.1:1",
+                  "--timeout", "2"])
+        assert "cannot reach" in str(exc_info.value)
+
+    def test_submit_round_trip_against_live_daemon(self, tmp_path, capsys):
+        import threading
+
+        from repro.service import create_server
+
+        server = create_server(
+            "127.0.0.1", 0, cache_dir=str(tmp_path / "cache"), quiet=True
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        url = f"http://127.0.0.1:{server.server_port}"
+        spec_path = tmp_path / "s.json"
+        from repro.scenarios import ScenarioSpec
+
+        spec_path.write_text(
+            ScenarioSpec(algorithm="ca-arrow", n=3, rho="1/2",
+                         horizon=400).to_json()
+        )
+        out_path = tmp_path / "artifact.jsonl"
+        try:
+            code = main(["submit", str(spec_path), "--url", url,
+                         "--out", str(out_path)])
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "served from: exec" in out
+            assert out_path.exists()
+            code = main(["submit", str(spec_path), "--url", url])
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "served from: cache" in out
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)

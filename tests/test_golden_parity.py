@@ -247,3 +247,68 @@ class TestGridGolden:
         report = run_grid_report(cells, backlog_stride=8)
         rows = [result.as_row() for result in report.results]
         assert json.loads(json.dumps(rows)) == rows_expected
+
+
+class TestServiceRouting:
+    """The CLI is a transport: every run path goes through repro.service.
+
+    The golden fixtures above pin *what* is printed; these tests pin
+    *how* it was produced — if a subcommand regrows a private engine
+    drive, the execute() spy stops seeing it and the test fails.
+    """
+
+    @pytest.fixture()
+    def spy(self, monkeypatch):
+        import repro.cli
+        from repro.service import execute as real_execute
+
+        calls = []
+
+        def recording_execute(request, **kwargs):
+            calls.append(request)
+            return real_execute(request, **kwargs)
+
+        monkeypatch.setattr(repro.cli, "execute", recording_execute)
+        return calls
+
+    def test_run_routes_through_service(self, spy, capsys):
+        assert main(["run", "--algorithm", "ca-arrow", "--n", "3",
+                     "--horizon", "400"]) == 0
+        assert [r.command for r in spy] == ["run"]
+
+    def test_scenario_run_routes_through_service(self, spy, capsys):
+        assert main(
+            ["scenario", "run", str(SCENARIOS / "ca_arrow_worst.json"),
+             "--horizon", "400"]
+        ) == 0
+        assert [r.command for r in spy] == ["run"]
+
+    def test_grid_routes_through_service(self, spy, capsys, tmp_path):
+        assert main(["grid", "--algorithms", "ca-arrow", "--rhos", "1/2",
+                     "--horizon", "200", "--no-cache"]) == 0
+        assert [r.command for r in spy] == ["grid"]
+        assert len(spy[0].specs) == 1
+
+    def test_sst_routes_through_service(self, spy, capsys):
+        assert main(["sst", "--algorithm", "abs", "--n", "5"]) == 0
+        assert [r.command for r in spy] == ["sst"]
+
+    def test_service_grid_report_matches_engine_grid(self):
+        """The service-routed grid is row-identical to the raw engine."""
+        from repro.service import RunOptions, RunRequest, execute
+
+        spec = ScenarioSpec(
+            algorithm="ca-arrow", n=4, max_slot=2, schedule="worst",
+            rho="1/2", horizon=2000, seed=0,
+            labels={"algorithm": "ca-arrow", "rho": "1/2"},
+        )
+        engine_report = run_grid_report(
+            [ExperimentCell.from_spec(spec)], backlog_stride=8
+        )
+        service_report = execute(
+            RunRequest(specs=(spec,), command="grid",
+                       options=RunOptions(backlog_stride=8))
+        ).report
+        assert [r.as_row() for r in service_report.results] == [
+            r.as_row() for r in engine_report.results
+        ]

@@ -220,3 +220,59 @@ class TestRendering:
         text = "\n".join(render_entry(history.get(run_id)))
         assert "trace:        t.json" in text
         assert "git:          abc" in text
+
+
+class TestQueryProvenanceFilters:
+    def _seed(self, tmp_path):
+        history = RunHistory(tmp_path / "h.db")
+        history.record(
+            "run", "batch-run",
+            extra={"engine": "batch", "timebase": "lattice(1/2)"},
+        )
+        history.record(
+            "run", "object-run",
+            extra={"engine": "object", "timebase": "fraction"},
+        )
+        history.record(
+            "grid", "mixed-grid", cells=2, cache_hits=2,
+            extra={"engines": ["batch", "object"]},
+        )
+        history.record("grid", "exec-grid", cells=2, cache_hits=0)
+        return history
+
+    def test_engine_filter_matches_runs_and_grid_cells(self, tmp_path):
+        history = self._seed(tmp_path)
+        names = {e.name for e in history.query(engine="batch")}
+        assert names == {"batch-run", "mixed-grid"}
+        names = {e.name for e in history.query(engine="object")}
+        assert names == {"object-run", "mixed-grid"}
+
+    def test_timebase_filter_matches_family_prefix(self, tmp_path):
+        history = self._seed(tmp_path)
+        entries = history.query(timebase="fraction")
+        assert [e.name for e in entries] == ["object-run"]
+        # "lattice(1/2)" is recorded with its pitch; the filter matches
+        # the family name.
+        entries = history.query(timebase="lattice")
+        assert [e.name for e in entries] == ["batch-run"]
+
+    def test_served_filter(self, tmp_path):
+        history = self._seed(tmp_path)
+        assert [e.name for e in history.query(served="cache")] == ["mixed-grid"]
+        assert "exec-grid" in {e.name for e in history.query(served="exec")}
+
+    def test_post_filter_scans_past_sql_limit(self, tmp_path):
+        """One matching row buried under many non-matching newer ones."""
+        history = RunHistory(tmp_path / "h.db")
+        history.record("run", "needle", extra={"engine": "batch"})
+        for index in range(30):
+            history.record("run", f"hay-{index}",
+                           extra={"engine": "object"})
+        entries = history.query(engine="batch", limit=5)
+        assert [e.name for e in entries] == ["needle"]
+
+    def test_filters_compose_with_sql_clauses(self, tmp_path):
+        history = self._seed(tmp_path)
+        entries = history.query(kind="grid", served="cache")
+        assert [e.name for e in entries] == ["mixed-grid"]
+        assert history.query(kind="run", served="cache") == []
