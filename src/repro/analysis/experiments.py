@@ -131,9 +131,12 @@ class CellResult:
 
     ``engine``/``timebase`` record which run loop and internal time
     representation actually executed the cell (resolved, not
-    requested) so perf-table diffs stay attributable.  They are
-    excluded from :meth:`as_row` — the observable measurements are
-    bit-identical across engines, and the CSV schema stays stable.
+    requested) so perf-table diffs stay attributable;
+    ``engine_described`` further splits batch cells into
+    ``batch(adaptive)`` / ``batch(nonadaptive)`` by the matched vector
+    program family.  All three are excluded from :meth:`as_row` — the
+    observable measurements are bit-identical across engines, and the
+    CSV schema stays stable.
     """
 
     name: str
@@ -143,6 +146,7 @@ class CellResult:
     peak_backlog: int
     engine: str = "object"
     timebase: str = ""
+    engine_described: str = ""
 
     def as_row(self) -> Dict[str, object]:
         """Flatten into a CSV-ready dictionary."""
@@ -282,6 +286,7 @@ def _execute_cell_impl(
         peak_backlog=trace.max_backlog,
         engine=sim.engine,
         timebase=sim.timebase.describe(),
+        engine_described=sim.engine_described,
     )
     return result, (sim_metrics.snapshot() if sim_metrics is not None else None)
 
@@ -448,7 +453,15 @@ def _record_grid_history(
         spec_hash=spec_hash,
         git_sha=git_sha(),
         health=report.health.as_dict(),
-        extra={"engines": sorted({r.engine for r in report.results if r.engine})},
+        extra={
+            "engines": sorted(
+                {
+                    r.engine_described or r.engine
+                    for r in report.results
+                    if r.engine
+                }
+            )
+        },
     )
 
 

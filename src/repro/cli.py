@@ -869,9 +869,10 @@ def _obs_flags(parser: argparse.ArgumentParser) -> None:
                         "the vectorized batch kernel when every component "
                         "is batch-eligible, else the per-object loop)")
     parser.add_argument("--verbose-engine", action="store_true",
-                        help="print the resolved engine/timebase (and the "
-                        "demotion reason when auto fell back to the object "
-                        "loop)")
+                        help="print the resolved engine/timebase, plus the "
+                        "promotion path (which vector programs matched) "
+                        "when auto picked the batch kernel or the demotion "
+                        "reason when it fell back to the object loop")
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="record a flight-recorder trace and export "
                         "Chrome trace-event JSON (Perfetto-loadable)")
@@ -980,9 +981,13 @@ def build_parser() -> argparse.ArgumentParser:
     hquery_p.add_argument("--since", default=None, metavar="ISO",
                           help="ISO date(time) prefix, e.g. 2026-08")
     hquery_p.add_argument("--engine", default=None,
-                          choices=("batch", "object"),
-                          help="runs executed by this engine (grids match "
-                          "when any cell used it)")
+                          choices=("batch", "batch(adaptive)",
+                                   "batch(nonadaptive)", "object"),
+                          help="runs executed by this engine — recorded "
+                          "with the resolved program family, so 'batch' "
+                          "matches both batch(adaptive) and "
+                          "batch(nonadaptive) (grids match when any cell "
+                          "used it)")
     hquery_p.add_argument("--timebase", default=None,
                           choices=("lattice", "fraction"),
                           help="runs executed on this timebase")

@@ -161,6 +161,39 @@ def batch_blocker(sim) -> Optional[str]:
     return None
 
 
+def _promoted_program_cls(sim) -> type:
+    """The algorithm program class a batch-eligible ``sim`` resolved to."""
+    algorithm = sim.stations[next(iter(sim.station_ids))].algorithm
+    return BATCH_ALGORITHMS[type(algorithm)]
+
+
+def promotion_detail(sim) -> str:
+    """Which vector programs a batch-eligible run matched.
+
+    Surfaced through ``Simulator.engine_detail`` on promotion (the
+    demotion counterpart is :func:`batch_blocker`'s reason) and printed
+    by ``repro run --verbose-engine``.
+    """
+    algorithm = sim.stations[next(iter(sim.station_ids))].algorithm
+    program_cls = BATCH_ALGORITHMS[type(algorithm)]
+    schedule_cls = BATCH_SCHEDULES[type(sim.slot_adversary)]
+    flavor = (
+        "adaptive masked-update" if program_cls.adaptive else "non-adaptive"
+    )
+    return (
+        f"promoted: {type(algorithm).__name__} -> {program_cls.__name__} "
+        f"({flavor}), {type(sim.slot_adversary).__name__} -> "
+        f"{schedule_cls.__name__}"
+    )
+
+
+def engine_family(sim) -> str:
+    """``batch(adaptive)`` or ``batch(nonadaptive)`` for an eligible run."""
+    if _promoted_program_cls(sim).adaptive:
+        return "batch(adaptive)"
+    return "batch(nonadaptive)"
+
+
 # ----------------------------------------------------------------------
 # Program base classes
 # ----------------------------------------------------------------------
@@ -180,6 +213,13 @@ class AlgorithmProgram:
     object path would hand to ``on_slot_end`` via ``SlotContext``; it
     returns one action code per member.
     """
+
+    #: Whether this program models an adaptive per-event automaton via
+    #: masked sub-steps (see :mod:`repro.core.batch_adaptive`) rather
+    #: than a single non-adaptive decision function.  Surfaced through
+    #: ``Simulator.engine_described`` as ``batch(adaptive)`` vs
+    #: ``batch(nonadaptive)``.
+    adaptive = False
 
     def __init__(self, kernel: "_BatchKernel") -> None:
         self.kernel = kernel
@@ -634,16 +674,30 @@ class KSelectionProgram(AlgorithmProgram):
 
 def _register_builtin_algorithms() -> None:
     """Bind programs to algorithm classes, tolerating partial installs."""
+    from ..algorithms.abs_leader import ABSLeaderElection
     from ..algorithms.aloha import SlottedAloha
+    from ..algorithms.ao_arrow import AOArrow
+    from ..algorithms.ca_arrow import CAArrow
+    from ..algorithms.ca_arrow_ft import FaultTolerantCAArrow
     from ..algorithms.k_selection import KSelection
     from ..algorithms.mbtf import MBTFLike
     from ..algorithms.round_robin import RRW, NaiveTDMA
+    from .batch_adaptive import (
+        ABSLeaderElectionProgram,
+        AOArrowProgram,
+        CAArrowProgram,
+        FaultTolerantCAArrowProgram,
+    )
 
     BATCH_ALGORITHMS[SlottedAloha] = SlottedAlohaProgram
     BATCH_ALGORITHMS[NaiveTDMA] = NaiveTDMAProgram
     BATCH_ALGORITHMS[RRW] = RRWProgram
     BATCH_ALGORITHMS[MBTFLike] = MBTFLikeProgram
     BATCH_ALGORITHMS[KSelection] = KSelectionProgram
+    BATCH_ALGORITHMS[ABSLeaderElection] = ABSLeaderElectionProgram
+    BATCH_ALGORITHMS[AOArrow] = AOArrowProgram
+    BATCH_ALGORITHMS[CAArrow] = CAArrowProgram
+    BATCH_ALGORITHMS[FaultTolerantCAArrow] = FaultTolerantCAArrowProgram
 
 
 # ----------------------------------------------------------------------

@@ -132,6 +132,21 @@ class Channel:
         self._track_seq = 0
         self._track_count = 0
         self._track_first_end = None
+        # Incremental collision detection.  Starts are non-decreasing
+        # (begin_transmission's contract), so "overlaps a new interval"
+        # reduces to "ends strictly after the new start".  Un-overlapped
+        # records sit on an end-ordered heap: entries ending at or
+        # before a new start can never collide again and are popped for
+        # good; everything still on the heap collides with the new
+        # record.  Overlapped records never need marking again, so for
+        # them one running maximum end answers "does the new record
+        # overlap any of those".  Together: amortised O(log history)
+        # per transmission where a window rescan is O(window) — the
+        # difference between linear and quadratic inside the n-way
+        # same-instant collisions of a large election phase.
+        self._clean_open: List[Tuple[object, int, Transmission]] = []
+        self._clean_seq = 0
+        self._dirty_end_max = None
 
     @property
     def stats(self) -> ChannelStats:
@@ -192,16 +207,37 @@ class Channel:
             )
         record = Transmission(station_id=station_id, interval=interval, packet=packet)
         stats = self._stats
-        for other in self._relevant_reversed(interval.start):
-            if other.interval.overlaps(interval):
-                if not other.overlapped:
-                    other.overlapped = True
-                    stats.collisions += 1
-                    self._probe_collision(other)
+        start = interval.start
+        clean = self._clean_open
+        while clean and clean[0][0] <= start:
+            heapq.heappop(clean)  # ended by now: finalized successes
+        if self._dirty_end_max is not None and self._dirty_end_max > start:
+            record.overlapped = True
+            stats.collisions += 1
+            self._probe_collision(record)
+        if clean:
+            # Every survivor overlaps the new record; drain the heap
+            # (they all become overlapped) newest-first, matching the
+            # historical reverse scan.
+            colliders = [heapq.heappop(clean) for _ in range(len(clean))]
+            colliders.sort(key=lambda entry: entry[1], reverse=True)
+            for _end, _seq, other in colliders:
+                other.overlapped = True
+                stats.collisions += 1
+                self._probe_collision(other)
                 if not record.overlapped:
                     record.overlapped = True
                     stats.collisions += 1
                     self._probe_collision(record)
+                other_end = other.interval.end
+                if self._dirty_end_max is None or other_end > self._dirty_end_max:
+                    self._dirty_end_max = other_end
+        if record.overlapped:
+            if self._dirty_end_max is None or interval.end > self._dirty_end_max:
+                self._dirty_end_max = interval.end
+        else:
+            self._clean_seq += 1
+            heapq.heappush(clean, (interval.end, self._clean_seq, record))
         self._transmissions.append(record)
         stats.transmissions += 1
         self._busy_internal += interval.duration

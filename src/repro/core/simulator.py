@@ -143,8 +143,10 @@ class Simulator:
             the run is batch-eligible — on the tick lattice, no
             per-event observers, vector programs registered for the
             slot adversary and the (homogeneous) station algorithm
-            class — and the per-object event loop otherwise, recording
-            the demotion reason in :attr:`engine_detail`.  ``"batch"``
+            class — and the per-object event loop otherwise.
+            :attr:`engine_detail` records how the choice fell: the
+            matched vector programs on promotion, the named blocker on
+            demotion.  ``"batch"``
             demands the kernel and raises :class:`ConfigurationError`
             naming the blocker; ``"object"`` forces the per-object
             loop.  Observable results are bit-for-bit identical across
@@ -298,7 +300,12 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def _resolve_engine(self, requested: str):
-        """Pick the inner loop; return ``(engine, demotion_detail)``."""
+        """Pick the inner loop; return ``(engine, detail)``.
+
+        ``detail`` names the demotion blocker when ``"auto"`` falls back
+        to the object path, and the promotion path (which vector
+        programs matched) when the batch kernel is selected.
+        """
         if requested == "object":
             return "object", None
         if requested not in ("auto", "batch"):
@@ -306,11 +313,11 @@ class Simulator:
                 "engine must be 'auto', 'batch' or 'object', "
                 f"got {requested!r}"
             )
-        from .batch import batch_blocker
+        from .batch import batch_blocker, promotion_detail
 
         blocker = batch_blocker(self)
         if blocker is None:
-            return "batch", None
+            return "batch", promotion_detail(self)
         if requested == "batch":
             raise ConfigurationError(f"engine='batch' requested but {blocker}")
         return "object", blocker
@@ -336,8 +343,22 @@ class Simulator:
 
     @property
     def engine_detail(self) -> Optional[str]:
-        """Why ``engine="auto"`` demoted to the object path (else None)."""
+        """How the engine resolved: the demotion blocker when ``"auto"``
+        fell back to the object path, the promotion path (matched vector
+        programs) when the batch kernel was selected, ``None`` when the
+        object loop was forced."""
         return self._engine_detail
+
+    @property
+    def engine_described(self) -> str:
+        """The resolved engine with its family: ``"object"``,
+        ``"batch(adaptive)"`` or ``"batch(nonadaptive)"`` — recorded in
+        run-history extras so adaptive-batch runs stay distinguishable."""
+        if self._engine != "batch":
+            return self._engine
+        from .batch import engine_family
+
+        return engine_family(self)
 
     @property
     def now(self) -> Time:

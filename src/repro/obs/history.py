@@ -328,6 +328,12 @@ class RunHistory:
         (``cache``/``journal``/``mixed``/``exec``).  These three filter
         in Python after the SQL pass, since they live in the JSON
         ``extra`` column.
+
+        Recorded engines carry the resolved program family —
+        ``batch(adaptive)`` / ``batch(nonadaptive)`` — so, like the
+        timebase filter, ``engine`` matches either the full recorded
+        value or its family name before the parenthesis
+        (``engine="batch"`` matches both variants).
         """
         if limit < 1:
             raise ValueError(f"limit must be >= 1, got {limit}")
@@ -359,10 +365,16 @@ class RunHistory:
             ).fetchall()
         entries = [_entry_from_row(row) for row in rows]
         if engine is not None:
+            def engine_matches(value: Any) -> bool:
+                recorded = str(value or "")
+                return recorded == engine or recorded.split("(")[0] == engine
+
             entries = [
                 e for e in entries
-                if e.extra.get("engine") == engine
-                or engine in (e.extra.get("engines") or ())
+                if engine_matches(e.extra.get("engine"))
+                or any(
+                    engine_matches(v) for v in (e.extra.get("engines") or ())
+                )
             ]
         if timebase is not None:
             # Recorded values carry the lattice pitch ("lattice(1/2)");

@@ -330,7 +330,8 @@ def _execute_run(
         artifact_path=options.emit_jsonl or None,
         trace_path=options.trace,
         extra={"delivered": metrics.delivered, "backlog": metrics.backlog,
-               "engine": sim.engine, "timebase": sim.timebase.describe()},
+               "engine": sim.engine_described,
+               "timebase": sim.timebase.describe()},
     )
     return RunResult(
         command="run",

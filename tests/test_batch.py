@@ -42,13 +42,26 @@ from repro.timing import Adaptive, Synchronous
 SCENARIOS = pathlib.Path(__file__).resolve().parents[1] / "scenarios"
 
 #: Registered scenario algorithms with a vector program (everything
-#: else must demote, naming its class).  ``abs``/``doubling`` families
-#: and the ARRoW family are adaptive per-event state machines and stay
-#: object-path by design.
-BATCH_ELIGIBLE_ALGORITHMS = {"aloha", "mbtf", "rrw", "tdma"}
+#: else must demote, naming its class).  The adaptive families — ABS
+#: and the ARRoWs — promote through the masked-update programs of
+#: ``repro.core.batch_adaptive``; ``doubling``/``randomized`` remain
+#: object-path (no registered program).
+BATCH_ELIGIBLE_ALGORITHMS = {
+    "aloha", "mbtf", "rrw", "tdma",
+    "abs", "ao-arrow", "ca-arrow", "ca-arrow-ft",
+}
 
-#: Bundled scenario files expected to auto-promote / demote.
-BATCH_ELIGIBLE_SCENARIOS = {"aloha_random", "mbtf_sync", "rrw_sync", "tdma_sync"}
+#: Scenario algorithms whose programs are adaptive masked-update ones.
+ADAPTIVE_BATCH_ALGORITHMS = {"abs", "ao-arrow", "ca-arrow", "ca-arrow-ft"}
+
+#: Bundled scenario files expected to auto-promote / demote.  The crash
+#: and jammed ARRoW scenarios stay object-path: ``crash_fleet`` wraps
+#: every station in ``Crashable`` (no program) and jammers make the
+#: fleet heterogeneous.
+BATCH_ELIGIBLE_SCENARIOS = {
+    "aloha_random", "mbtf_sync", "rrw_sync", "tdma_sync",
+    "abs_election_worst", "ao_arrow_worst", "ca_arrow_worst",
+}
 
 #: Registered schedule names -> extra spec parameters they require.
 SCHEDULE_PARAMS = {
@@ -130,7 +143,19 @@ class TestEngineAutoDetection:
         sim = spec_for(name).build()
         if name in BATCH_ELIGIBLE_ALGORITHMS:
             assert sim.engine == "batch"
-            assert sim.engine_detail is None
+            # Promotion names the matched vector programs (satellite of
+            # the adaptive-vectorization issue: --verbose-engine prints
+            # the promotion path, not just demotion reasons).
+            assert sim.engine_detail.startswith("promoted: ")
+            cls = type(next(iter(sim.stations.values())).algorithm)
+            assert cls.__name__ in sim.engine_detail
+            assert f"{cls.__name__}Program" in sim.engine_detail
+            if name in ADAPTIVE_BATCH_ALGORITHMS:
+                assert "adaptive masked-update" in sim.engine_detail
+                assert sim.engine_described == "batch(adaptive)"
+            else:
+                assert "non-adaptive" in sim.engine_detail
+                assert sim.engine_described == "batch(nonadaptive)"
         else:
             # Ineligible -> object path, and the reason names the
             # blocking class so `repro run` output is actionable.
@@ -147,6 +172,17 @@ class TestEngineAutoDetection:
     def test_registries_are_populated(self):
         assert {cls.__name__ for cls in BATCH_ALGORITHMS} >= {
             "SlottedAloha", "NaiveTDMA", "RRW", "MBTFLike", "KSelection",
+            "ABSLeaderElection", "AOArrow", "CAArrow",
+            "FaultTolerantCAArrow",
+        }
+        adaptive = {
+            cls.__name__
+            for cls, prog in BATCH_ALGORITHMS.items()
+            if prog.adaptive
+        }
+        assert adaptive == {
+            "ABSLeaderElection", "AOArrow", "CAArrow",
+            "FaultTolerantCAArrow",
         }
         assert {cls.__name__ for cls in BATCH_SCHEDULES} >= {
             "Synchronous", "FixedLength", "PerStationFixed",
@@ -207,11 +243,67 @@ class TestEngineAutoDetection:
         assert "next_arrival_hint" in sim.engine_detail
 
     def test_forced_batch_raises_the_detection_reason(self):
-        spec = spec_for("ca-arrow")
+        spec = spec_for("doubling", rho=None)
         reason = batch_blocker(spec.build())
-        with pytest.raises(ConfigurationError, match="CAArrow"):
+        with pytest.raises(ConfigurationError, match="DoublingABS"):
             spec.build(engine="batch")
-        assert "CAArrow" in reason
+        assert "DoublingABS" in reason
+
+    def test_mixed_adaptive_nonadaptive_fleet_demotes(self):
+        from repro.algorithms import AOArrow
+
+        fleet = {1: AOArrow(1, 3, 2), 2: AOArrow(2, 3, 2), 3: RRW(3, 3)}
+        sim = Simulator(fleet, Synchronous(), max_slot_length=2)
+        assert sim.engine == "object"
+        assert "mixed" in sim.engine_detail
+        assert "AOArrow" in sim.engine_detail and "RRW" in sim.engine_detail
+        with pytest.raises(ConfigurationError, match="mixed"):
+            Simulator(
+                dict(fleet), Synchronous(), max_slot_length=2,
+                engine="batch",
+            )
+
+    def test_abs_threshold_overrides_demote(self):
+        from repro.algorithms import ABSLeaderElection
+
+        fleet = {i: ABSLeaderElection(i, 2) for i in range(1, 5)}
+        fleet[2].core.threshold0_override = 7
+        fleet[2].core.__post_init__()
+        sim = Simulator(fleet, Synchronous(), max_slot_length=2)
+        assert sim.engine == "object"
+        assert "threshold overrides" in sim.engine_detail
+        with pytest.raises(ConfigurationError, match="threshold overrides"):
+            Simulator(
+                dict(fleet), Synchronous(), max_slot_length=2,
+                engine="batch",
+            )
+
+    def test_adaptive_fraction_timebase_falls_back_with_reason(self):
+        from repro.algorithms import CAArrow as CA
+
+        adversary = Adaptive(lambda sim, sid, idx: Fraction(3, 2))
+        sim = Simulator(
+            {i: CA(i, 3, 2) for i in range(1, 4)}, adversary,
+            max_slot_length=2,
+        )
+        assert sim.engine == "object"
+        assert "Fraction timebase" in sim.engine_detail
+        with pytest.raises(ConfigurationError, match="Fraction timebase"):
+            Simulator(
+                {i: CA(i, 3, 2) for i in range(1, 4)}, adversary,
+                max_slot_length=2, engine="batch",
+            )
+
+    def test_crashable_fleet_demotes_naming_the_wrapper(self):
+        sim = load_spec(SCENARIOS / "ca_arrow_ft_crash.json").build()
+        assert sim.engine == "object"
+        assert "Crashable" in sim.engine_detail
+        assert "no vectorized program" in sim.engine_detail
+
+    def test_jammed_fleet_demotes_as_mixed(self):
+        sim = load_spec(SCENARIOS / "ca_arrow_jammed.json").build()
+        assert sim.engine == "object"
+        assert "mixed" in sim.engine_detail
 
     def test_forced_batch_with_probes_raises(self):
         with pytest.raises(ConfigurationError, match="ProbeBus"):
@@ -317,6 +409,145 @@ class TestBatchObjectParity:
         batch_sim.run(until_time=5000)
         assert fingerprint(object_sim) == fingerprint(batch_sim)
 
+    @pytest.mark.parametrize("name", sorted(ADAPTIVE_BATCH_ALGORITHMS))
+    @pytest.mark.parametrize("schedule", ["sync", "worst"])
+    def test_adaptive_families_bit_identical(self, name, schedule):
+        overrides = {"rho": None} if name == "abs" else {}
+        spec = spec_for(name, schedule=schedule, n=6, horizon=400,
+                        **overrides)
+        object_sim, batch_sim = paired(spec)
+        object_sim.run(until_time=spec.horizon)
+        batch_sim.run(until_time=spec.horizon)
+        assert fingerprint(object_sim) == fingerprint(batch_sim)
+
+    def test_adaptive_chunked_max_events(self):
+        """Mid-tick budget cuts on an adaptive program: the masked
+        sub-steps must commute with any event-order prefix."""
+        spec = spec_for("ao-arrow", n=7, horizon=400)
+        object_sim, batch_sim = paired(spec)
+        object_sim.run(until_time=spec.horizon)
+        cuts = (7, 3, 1, 40, 5, 1000, 13)
+        i = 0
+        while batch_sim.now < spec.horizon:
+            budget = batch_sim.events_processed + cuts[i % len(cuts)]
+            batch_sim.run(until_time=spec.horizon, max_events=budget)
+            if batch_sim.events_processed < budget:
+                break
+            i += 1
+        assert fingerprint(object_sim) == fingerprint(batch_sim)
+
+    def test_adaptive_engines_interleave_on_one_simulator(self):
+        """Full bidirectional state sync: an auto(batch) run continued
+        on a fresh object-engine clone of its own canonical state must
+        agree — here checked by alternating horizon chunks against a
+        pure object run."""
+        spec = spec_for("ca-arrow-ft", n=5, horizon=600)
+        reference = spec.build(engine="object")
+        reference.run(until_time=spec.horizon)
+        alternating = spec.build(engine="object")
+        # Same canonical objects, alternating inner loops per chunk
+        # (the kernel snapshots/writes back around every run call).
+        for chunk in range(6):
+            alternating._engine = "batch" if chunk % 2 else "object"
+            alternating.run(until_time=(chunk + 1) * 100)
+        assert fingerprint(reference) == fingerprint(alternating)
+
+    def test_ft_skip_ladder_bit_identical(self):
+        """A permanently silent ring id engages the skip/claim ladder
+        (scalar hot path) on both engines identically."""
+        from repro.algorithms import FaultTolerantCAArrow
+        from repro.timing import worst_case_for
+
+        def build(engine):
+            fleet = {i: FaultTolerantCAArrow(i, 4, 2) for i in (1, 2, 3)}
+            return Simulator(
+                fleet, worst_case_for(Fraction(2)), max_slot_length=2,
+                engine=engine, arrival_source=UniformRate(
+                    rho=Fraction(1, 8), targets=[1, 2, 3], assumed_cost=2,
+                ),
+            )
+
+        object_sim, batch_sim = build("object"), build("batch")
+        object_sim.run(until_time=2000)
+        batch_sim.run(until_time=2000)
+        assert fingerprint(object_sim) == fingerprint(batch_sim)
+        skips = sum(
+            object_sim.stations[sid].algorithm.stats.skips
+            for sid in object_sim.station_ids
+        )
+        claims = sum(
+            object_sim.stations[sid].algorithm.stats.recoveries_claimed
+            for sid in object_sim.station_ids
+        )
+        assert skips > 0 and claims > 0  # the ladder actually engaged
+        for sid in object_sim.station_ids:
+            a = object_sim.stations[sid].algorithm
+            b = batch_sim.stations[sid].algorithm
+            assert dataclasses.astuple(a.stats) == dataclasses.astuple(
+                b.stats
+            )
+            assert (a.silent_run, a.skip_count, a.ladder_rounds) == (
+                b.silent_run, b.skip_count, b.ladder_rounds
+            )
+
+    def test_ft_conflict_mode_staggering_bit_identical(self):
+        """Conflict-mode claims stagger thresholds by (2R)^(id-1) with
+        exact integers; identical pre-desynchronized fleets must resolve
+        identically on both engines."""
+        from repro.algorithms import FaultTolerantCAArrow
+
+        def build(engine):
+            fleet = {i: FaultTolerantCAArrow(i, 3, 2) for i in (1, 2, 3)}
+            for i, algo in fleet.items():
+                algo.conflict_mode = True
+                algo.state = "claim"
+                algo.skip_count = 1
+                algo.silent_run = 5
+                algo.turn = i
+            return Simulator(
+                fleet, Synchronous(), max_slot_length=2, engine=engine,
+                initial_packets=2,
+            )
+
+        object_sim, batch_sim = build("object"), build("batch")
+        object_sim.run(until_time=1500)
+        batch_sim.run(until_time=1500)
+        assert fingerprint(object_sim) == fingerprint(batch_sim)
+
+    def test_ao_arrow_sync_signal_path_bit_identical(self):
+        """Sparse arrivals leave super-threshold silences, engaging
+        AO-ARRoW's sync_wait/sync_tx machinery on both engines."""
+        spec = spec_for("ao-arrow", schedule="worst", rho="1/64",
+                        horizon=3000)
+        object_sim, batch_sim = paired(spec)
+        object_sim.run(until_time=spec.horizon)
+        batch_sim.run(until_time=spec.horizon)
+        assert fingerprint(object_sim) == fingerprint(batch_sim)
+        sync_signals = sum(
+            object_sim.stations[sid].algorithm.stats.sync_signals_sent
+            for sid in object_sim.station_ids
+        )
+        assert sync_signals > 0  # the path actually ran
+
+    def test_abs_run_until_success_and_continuation(self):
+        """SST on the standalone ABS fleet: first success matches, and
+        the finished batch run continues identically."""
+        spec = spec_for("abs", schedule="worst", rho=None, n=9,
+                        horizon=5000)
+        object_sim, batch_sim = paired(spec)
+        ends = (
+            object_sim.run_until_success(max_events=100_000),
+            batch_sim.run_until_success(max_events=100_000),
+        )
+        assert ends[0] is not None
+        assert ends[0] == ends[1]
+        assert fingerprint(object_sim, drain=False) == fingerprint(
+            batch_sim, drain=False
+        )
+        object_sim.run(until_time=5000)
+        batch_sim.run(until_time=5000)
+        assert fingerprint(object_sim) == fingerprint(batch_sim)
+
     def test_engine_choice_never_reaches_results(self):
         """Grid cells agree on everything a CellResult records."""
         cell = spec_for("rrw", horizon=400).to_cell(name="parity")
@@ -324,7 +555,9 @@ class TestBatchObjectParity:
         batch_result = run_cell(cell, engine="batch")
         assert object_result.engine == "object"
         assert batch_result.engine == "batch"
-        exempt = {"engine", "timebase", "wall_s"}
+        assert object_result.engine_described == "object"
+        assert batch_result.engine_described == "batch(nonadaptive)"
+        exempt = {"engine", "engine_described", "timebase", "wall_s"}
         for field in dataclasses.fields(object_result):
             if field.name in exempt:
                 continue

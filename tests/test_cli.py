@@ -49,6 +49,32 @@ class TestRunCommand:
         assert code == 0
         assert "delivered:" in capsys.readouterr().out
 
+    def test_verbose_engine_prints_promotion_path(self, capsys):
+        pytest.importorskip("numpy")
+        code = main(
+            ["run", "--algorithm", "ca-arrow", "--n", "3", "--horizon",
+             "200", "--verbose-engine"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "engine:         batch/" in out
+        assert "promoted: CAArrow -> CAArrowProgram" in out
+        assert "adaptive masked-update" in out
+
+    def test_verbose_engine_prints_demotion_reason(self, capsys):
+        pytest.importorskip("numpy")
+        # A crash plan wraps every station in Crashable, which has no
+        # vectorized program: auto demotes and names the blocker.
+        code = main(
+            ["run", "--algorithm", "ca-arrow-ft", "--n", "3", "--rho",
+             "2/5", "--horizon", "200", "--faults", "crash:2@40",
+             "--verbose-engine"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "engine:         object/" in out
+        assert "Crashable" in out
+
     def test_unknown_algorithm_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "--algorithm", "carrier-pigeon"])
@@ -394,6 +420,30 @@ class TestHistoryCommand:
         out = capsys.readouterr().out
         assert code == 0
         assert out.count(" grid ") == 1
+
+    def test_query_engine_distinguishes_adaptive_batch(self, capsys):
+        """Run history records the resolved program family, so
+        ``--engine batch`` finds every batch run while
+        ``--engine "batch(adaptive)"`` narrows to the adaptive ones."""
+        pytest.importorskip("numpy")
+        main(["run", "--algorithm", "ca-arrow", "--n", "3",
+              "--horizon", "400"])
+        main(["run", "--algorithm", "rrw", "--n", "3", "--horizon", "400"])
+        capsys.readouterr()
+        assert main(["history", "query", "--engine", "batch"]) == 0
+        out = capsys.readouterr().out
+        assert "ca-arrow@rho=1/2" in out
+        assert "rrw@rho=1/2" in out
+        assert main(["history", "query", "--engine", "batch(adaptive)"]) == 0
+        out = capsys.readouterr().out
+        assert "ca-arrow@rho=1/2" in out
+        assert "rrw@rho=1/2" not in out
+        assert main(
+            ["history", "query", "--engine", "batch(nonadaptive)"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ca-arrow@rho=1/2" not in out
+        assert "rrw@rho=1/2" in out
 
     def test_empty_default_db_lists_nothing(self, capsys):
         code = main(["history", "list"])

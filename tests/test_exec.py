@@ -411,3 +411,29 @@ class TestPerfSuite:
         full = run_perf(cases=[self._tiny_case()], quick=False, repeats=1)
         assert [len(t["rows"]) for t in quick["tables"]] == \
             [len(t["rows"]) for t in full["tables"]]
+
+    def test_fleet_win_policy_is_per_case(self):
+        """Only cases with a ``win_min`` get a policed ``win`` cell, and
+        the floor itself is printed next to it (exact-compare in CI)."""
+        pytest.importorskip("numpy")
+        from repro.exec.perf import PerfCase, run_perf
+
+        fleet = [
+            PerfCase(name="f-info", algorithm="rrw", n=8, schedule="sync",
+                     horizon=60, quick_horizon=60),
+            # An adaptive family, policed with a floor any machine meets:
+            # this asserts the wiring (win_min -> win cell), not speed.
+            PerfCase(name="f-policed", algorithm="ao-arrow", n=8,
+                     schedule="sync", horizon=60, quick_horizon=60,
+                     win_min=0.0001),
+        ]
+        document = run_perf(
+            cases=[self._tiny_case()], quick=True, repeats=1,
+            fleet_cases=fleet,
+        )
+        fleet_table = document["tables"][2]
+        assert fleet_table["headers"][-2:] == ["win_min", "win"]
+        rows = {row[0]: row for row in fleet_table["rows"]}
+        assert rows["f-info"][-2:] == ["-", "-"]
+        assert rows["f-policed"][-2] == ">=0.0001x"
+        assert rows["f-policed"][-1] == "yes"

@@ -44,6 +44,15 @@ class TestCliGolden:
         assert code == 0
         assert capsys.readouterr().out == _golden("cli_ca_arrow_worst.txt")
 
+    def test_abs_election_worst_byte_identical(self, capsys):
+        """The bundled ABS scenario under the (auto-promoted) batch
+        engine reproduces the object-loop golden bytes."""
+        code = main(
+            ["scenario", "run", str(SCENARIOS / "abs_election_worst.json")]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == _golden("cli_abs_election_worst.txt")
+
     def test_aloha_random_byte_identical(self, capsys):
         code = main(
             ["run", "--algorithm", "aloha", "--n", "4", "--max-slot", "2",
@@ -143,7 +152,15 @@ class TestEngineParity:
     lives in ``test_batch.py``; here the bundled scenarios and the
     golden bytes are pinned.)"""
 
-    ELIGIBLE = {"aloha_random", "mbtf_sync", "rrw_sync", "tdma_sync"}
+    ELIGIBLE = {
+        "abs_election_worst",
+        "aloha_random",
+        "ao_arrow_worst",
+        "ca_arrow_worst",
+        "mbtf_sync",
+        "rrw_sync",
+        "tdma_sync",
+    }
 
     @pytest.mark.parametrize(
         "path", sorted(SCENARIOS.glob("*.json")), ids=lambda p: p.stem
@@ -176,6 +193,19 @@ class TestEngineParity:
         )
         assert code == 0
         assert capsys.readouterr().out == _golden("cli_ca_arrow_worst.txt")
+
+    def test_abs_golden_identical_under_forced_engines(self, capsys):
+        """The ABS golden bytes don't depend on the engine either way."""
+        pytest.importorskip("numpy")
+        for engine in ("object", "batch"):
+            code = main(
+                ["scenario", "run",
+                 str(SCENARIOS / "abs_election_worst.json"),
+                 "--engine", engine]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            assert out == _golden("cli_abs_election_worst.txt"), engine
 
 
 class TestOffLatticeFallback:

@@ -247,6 +247,29 @@ class TestQueryProvenanceFilters:
         names = {e.name for e in history.query(engine="object")}
         assert names == {"object-run", "mixed-grid"}
 
+    def test_engine_filter_matches_family_prefix(self, tmp_path):
+        """Recorded engines carry the resolved program family; the
+        bare family name matches both variants, the full value only its
+        own."""
+        history = RunHistory(tmp_path / "h.db")
+        history.record(
+            "run", "adaptive-run", extra={"engine": "batch(adaptive)"}
+        )
+        history.record(
+            "run", "nonadaptive-run", extra={"engine": "batch(nonadaptive)"}
+        )
+        history.record(
+            "grid", "adaptive-grid", cells=1,
+            extra={"engines": ["batch(adaptive)"]},
+        )
+        history.record("run", "object-run", extra={"engine": "object"})
+        names = {e.name for e in history.query(engine="batch")}
+        assert names == {"adaptive-run", "nonadaptive-run", "adaptive-grid"}
+        names = {e.name for e in history.query(engine="batch(adaptive)")}
+        assert names == {"adaptive-run", "adaptive-grid"}
+        names = {e.name for e in history.query(engine="batch(nonadaptive)")}
+        assert names == {"nonadaptive-run"}
+
     def test_timebase_filter_matches_family_prefix(self, tmp_path):
         history = self._seed(tmp_path)
         entries = history.query(timebase="fraction")

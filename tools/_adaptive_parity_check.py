@@ -1,0 +1,181 @@
+"""Ad-hoc object-vs-batch parity harness for the adaptive programs.
+
+Development scratch tool: runs each adaptive family on several schedules
+and compares the strict fingerprint (same one tests/test_batch.py uses).
+Not part of the test suite; kept for quick local iteration.
+"""
+
+import dataclasses
+import sys
+
+sys.path.insert(0, "src")
+
+from repro.scenarios import ScenarioSpec
+
+
+def fingerprint(sim, drain=True):
+    if drain:
+        sim.channel.drain_all(sim.now)
+    return (
+        sim.events_processed,
+        sim.now,
+        sim.total_backlog,
+        sim.trace.max_backlog,
+        tuple(
+            (p.packet_id, p.station_id, p.arrival_time, p.delivered_time,
+             p.cost)
+            for p in sim.delivered_packets
+        ),
+        dataclasses.astuple(sim.channel.stats),
+        tuple(sorted(sim._event_heap)),
+        tuple(
+            (rt.station_id, rt.slot_index, rt.slot_start, rt.slot_end,
+             rt.slots_elapsed, len(rt.queue))
+            for rt in (sim.stations[sid] for sid in sim.station_ids)
+        ),
+        tuple(
+            (t.station_id, t.interval.start, t.interval.end, t.overlapped,
+             t.packet.packet_id if t.packet is not None else None)
+            for t in sim.channel._transmissions
+        ),
+    )
+
+
+def algo_state(sim):
+    out = []
+    for sid in sim.station_ids:
+        algo = sim.stations[sid].algorithm
+        row = {
+            k: getattr(algo, k)
+            for k in dir(algo)
+            if not k.startswith("__") and not callable(getattr(algo, k))
+        }
+        core = getattr(algo, "core", None)
+        if core is not None:
+            row["core"] = dataclasses.astuple(core)
+        out.append((sid, sorted((k, repr(v)) for k, v in row.items())))
+    return out
+
+
+CASES = []
+for schedule in ("sync", "worst", "fixed"):
+    sched = {"name": schedule}
+    if schedule == "fixed":
+        sched["length"] = "3/2"
+    for algorithm in ("ca-arrow", "ca-arrow-ft", "ao-arrow"):
+        CASES.append(ScenarioSpec(
+            algorithm=algorithm, n=4, max_slot=2, rho="1/2", horizon=400,
+            schedule=sched,
+        ))
+        CASES.append(ScenarioSpec(
+            algorithm=algorithm, n=6, max_slot=2, rho="7/8", horizon=400,
+            schedule=sched, source={"name": "bursty"}, burst=3,
+        ))
+    CASES.append(ScenarioSpec(
+        algorithm="abs", n=9, max_slot=2, rho=None, horizon=400,
+        schedule=sched, source={"name": "none"},
+    ))
+
+# AO-ARRoW long-silence sync machinery: sparse arrivals leave silent
+# gaps far beyond the sync threshold, so sync_wait/sync_tx engage.
+for schedule in ("sync", "worst"):
+    CASES.append(ScenarioSpec(
+        algorithm="ao-arrow", n=4, max_slot=2, rho="1/64", horizon=3000,
+        schedule={"name": schedule},
+    ))
+
+EXTRA = []
+
+
+def ft_phantom(engine):
+    """FT ring with a permanently silent member id: the ladder engages."""
+    from repro.algorithms import FaultTolerantCAArrow
+    from repro.arrivals import UniformRate
+    from repro.core import Simulator
+    from repro.timing import worst_case_for
+
+    fleet = {i: FaultTolerantCAArrow(i, 4, 2) for i in (1, 2, 3)}
+    return Simulator(
+        fleet, worst_case_for(2), max_slot_length=2, engine=engine,
+        arrival_source=UniformRate(rho="1/8", targets=[1, 2, 3],
+                                   assumed_cost=2),
+    )
+
+
+def ft_conflict(engine):
+    """Conflict-mode claims: pre-desynchronized turn views, staggered
+    B_k thresholds decide the winner."""
+    from repro.algorithms import FaultTolerantCAArrow
+    from repro.core import Simulator
+    from repro.timing import Synchronous
+
+    fleet = {i: FaultTolerantCAArrow(i, 3, 2) for i in (1, 2, 3)}
+    for i, algo in fleet.items():
+        algo.conflict_mode = True
+        algo.state = "claim"
+        algo.skip_count = 1
+        algo.silent_run = 5
+        algo.turn = i
+    return Simulator(
+        fleet, Synchronous(), max_slot_length=2, engine=engine,
+        initial_packets=2,
+    )
+
+
+EXTRA = [("ft-phantom", ft_phantom, 4000), ("ft-conflict", ft_conflict, 3000)]
+
+failures = 0
+for spec in CASES:
+    label = f"{spec.algorithm}/{spec.schedule['name']}/n={spec.n}"
+    obj = spec.build(engine="object")
+    bat = spec.build(engine="batch")
+    assert bat.engine == "batch", (label, bat.engine_detail)
+    obj.run(until_time=spec.horizon)
+    bat.run(until_time=spec.horizon)
+    fo, fb = fingerprint(obj), fingerprint(bat)
+    ao, ab = algo_state(obj), algo_state(bat)
+    if fo != fb or ao != ab:
+        failures += 1
+        print(f"FAIL {label}")
+        if fo != fb:
+            for i, (a, b) in enumerate(zip(fo, fb)):
+                if a != b:
+                    print(f"  fingerprint[{i}]:\n    obj={a}\n    bat={b}")
+        if ao != ab:
+            for (sa, ra), (sb, rb) in zip(ao, ab):
+                if ra != rb:
+                    diff = [(x, y) for x, y in zip(ra, rb) if x != y]
+                    print(f"  station {sa}: {diff}")
+    else:
+        print(f"ok   {label}  events={obj.events_processed}")
+
+for label, build, horizon in EXTRA:
+    obj, bat = build("object"), build("batch")
+    assert bat.engine == "batch", (label, bat.engine_detail)
+    obj.run(until_time=horizon)
+    bat.run(until_time=horizon)
+    fo, fb = fingerprint(obj), fingerprint(bat)
+    ao, ab = algo_state(obj), algo_state(bat)
+    if fo != fb or ao != ab:
+        failures += 1
+        print(f"FAIL {label}")
+        if fo != fb:
+            for i, (a, b) in enumerate(zip(fo, fb)):
+                if a != b:
+                    print(f"  fingerprint[{i}]:\n    obj={a}\n    bat={b}")
+        for (sa, ra), (sb, rb) in zip(ao, ab):
+            if ra != rb:
+                diff = [(x, y) for x, y in zip(ra, rb) if x != y]
+                print(f"  station {sa}: {diff}")
+    else:
+        extra = {}
+        for sid in obj.station_ids:
+            stats = obj.stations[sid].algorithm.stats
+            for key in ("skips", "recoveries_claimed", "unexpected_busy",
+                        "sync_signals_sent"):
+                if hasattr(stats, key):
+                    extra[key] = extra.get(key, 0) + getattr(stats, key)
+        print(f"ok   {label}  events={obj.events_processed}  {extra}")
+
+print("failures:", failures)
+sys.exit(1 if failures else 0)
